@@ -1,0 +1,57 @@
+// Figure 1: crash-consistency overhead on the CPU baseline.
+//
+// (a) fraction of execution time spent in crash-consistency code regions for
+//     logging / checkpointing / shadow paging, and (b-d) the breakdown of
+//     that overhead into data movement, metadata, ordering and allocation.
+// Paper reference points: 37.7% / 48.6% / 67.2% overhead, of which 68.9% /
+// 60.4% / 70.5% is data movement.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace nearpm {
+namespace bench {
+namespace {
+
+void BM_Fig01(benchmark::State& state, const std::string& workload,
+              Mechanism mechanism) {
+  RunConfig cfg;
+  cfg.workload = workload;
+  cfg.mechanism = mechanism;
+  cfg.mode = ExecMode::kCpuBaseline;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunWorkload(cfg);
+  }
+  state.counters["cc_pct"] = 100.0 * r.cc_fraction();
+  const double cc = r.cc_region_ns > 0 ? r.cc_region_ns : 1.0;
+  state.counters["data_movement_pct"] = 100.0 * r.data_movement_ns / cc;
+  state.counters["metadata_pct"] = 100.0 * r.metadata_ns / cc;
+  state.counters["ordering_pct"] = 100.0 * r.ordering_ns / cc;
+  state.counters["allocation_pct"] = 100.0 * r.allocation_ns / cc;
+}
+
+void RegisterAll() {
+  for (Mechanism mech : {Mechanism::kLogging, Mechanism::kCheckpointing,
+                         Mechanism::kShadowPaging}) {
+    for (const std::string& w : EvaluatedWorkloads()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig01/") + MechanismName(mech) + "/" + w).c_str(),
+          [w, mech](benchmark::State& s) { BM_Fig01(s, w, mech); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  nearpm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

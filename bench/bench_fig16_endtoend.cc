@@ -1,0 +1,82 @@
+// Figure 16: end-to-end (whole-application) speedup per workload and
+// mechanism for the three NearPM configurations over the CPU baseline.
+// Paper averages: SD 1.29/1.15/1.28, MD SW-sync 1.21/1.14/1.23,
+// MD 1.35/1.22/1.33 for logging/checkpointing/shadow paging -- delayed
+// synchronization beats CPU-polling synchronization, which trails the single
+// device on synchronization overhead.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace nearpm {
+namespace bench {
+namespace {
+
+void BM_Fig16(benchmark::State& state, const std::string& workload,
+              Mechanism mechanism) {
+  RunConfig cfg;
+  cfg.workload = workload;
+  cfg.mechanism = mechanism;
+  double sd = 0;
+  double md_sw = 0;
+  double md = 0;
+  for (auto _ : state) {
+    cfg.mode = ExecMode::kCpuBaseline;
+    const RunResult base = RunWorkload(cfg);
+    cfg.mode = ExecMode::kNdpSingleDevice;
+    sd = base.total_ns / RunWorkload(cfg).total_ns;
+    cfg.mode = ExecMode::kNdpMultiSwSync;
+    md_sw = base.total_ns / RunWorkload(cfg).total_ns;
+    cfg.mode = ExecMode::kNdpMultiDelayed;
+    md = base.total_ns / RunWorkload(cfg).total_ns;
+  }
+  state.counters["speedup_sd"] = sd;
+  state.counters["speedup_md_swsync"] = md_sw;
+  state.counters["speedup_md"] = md;
+}
+
+void BM_Fig16Mean(benchmark::State& state, Mechanism mechanism,
+                  ExecMode mode) {
+  double mean = 0;
+  for (auto _ : state) {
+    RunConfig base;
+    mean = MeanSpeedup(mechanism, mode, /*region_time=*/false, base);
+  }
+  state.counters["mean_speedup"] = mean;
+}
+
+void RegisterAll() {
+  for (Mechanism mech : {Mechanism::kLogging, Mechanism::kCheckpointing,
+                         Mechanism::kShadowPaging}) {
+    for (const std::string& w : EvaluatedWorkloads()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig16/") + MechanismName(mech) + "/" + w).c_str(),
+          [w, mech](benchmark::State& s) { BM_Fig16(s, w, mech); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+    for (ExecMode mode :
+         {ExecMode::kNdpSingleDevice, ExecMode::kNdpMultiSwSync,
+          ExecMode::kNdpMultiDelayed}) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig16/") + MechanismName(mech) + "/MEAN_" +
+           ExecModeName(mode))
+              .c_str(),
+          [mech, mode](benchmark::State& s) { BM_Fig16Mean(s, mech, mode); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  nearpm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

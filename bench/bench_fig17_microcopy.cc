@@ -1,0 +1,61 @@
+// Figure 17: data-movement micro-benchmark. One synchronous persistent copy
+// of S bytes, CPU (cache hierarchy + clwb) versus NearPM (command path +
+// near-memory DMA). Paper endpoints: 1.13x at 64 B rising to 5.57x at 16 kB
+// -- the gain is pure proximity, there is no operation-level parallelism.
+#include <benchmark/benchmark.h>
+
+#include "src/core/runtime.h"
+
+namespace nearpm {
+namespace {
+
+double CopyTimeNs(ExecMode mode, std::uint64_t size) {
+  RuntimeOptions opts;
+  opts.mode = mode;
+  opts.pm_size = 64ull << 20;
+  opts.retain_crash_state = false;
+  Runtime rt(opts);
+  auto pool = rt.RegisterPool(0, 32ull << 20);
+  // Steady-state average over many back-to-back copies.
+  constexpr int kReps = 64;
+  const SimTime start = rt.Now(0);
+  for (int i = 0; i < kReps; ++i) {
+    const PmAddr src = static_cast<PmAddr>(i) * 32768;
+    Status st = rt.RawCopy(*pool, 0, src, src + 16384, size, /*wait=*/true);
+    if (!st.ok()) {
+      std::abort();
+    }
+  }
+  return static_cast<double>(rt.Now(0) - start) / kReps;
+}
+
+void BM_Fig17(benchmark::State& state) {
+  const std::uint64_t size = static_cast<std::uint64_t>(state.range(0));
+  double cpu_ns = 0;
+  double ndp_ns = 0;
+  for (auto _ : state) {
+    cpu_ns = CopyTimeNs(ExecMode::kCpuBaseline, size);
+    ndp_ns = CopyTimeNs(ExecMode::kNdpSingleDevice, size);
+  }
+  state.counters["cpu_ns"] = cpu_ns;
+  state.counters["ndp_ns"] = ndp_ns;
+  state.counters["speedup"] = cpu_ns / ndp_ns;
+}
+
+BENCHMARK(BM_Fig17)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(16384)
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace nearpm
+
+BENCHMARK_MAIN();

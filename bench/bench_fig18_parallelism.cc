@@ -1,0 +1,77 @@
+// Figure 18: fraction of execution parallelizable between CPU and NearPM --
+// the share of time the CPU makes forward progress while NDP work is
+// outstanding, in the NearPM MD configuration. Paper averages: 20.01%
+// (logging), 17.25% (checkpointing), 24.68% (shadow paging).
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "src/common/stats.h"
+
+namespace nearpm {
+namespace bench {
+namespace {
+
+void BM_Fig18(benchmark::State& state, const std::string& workload,
+              Mechanism mechanism) {
+  RunConfig cfg;
+  cfg.workload = workload;
+  cfg.mechanism = mechanism;
+  cfg.mode = ExecMode::kNdpMultiDelayed;
+  RunResult r;
+  for (auto _ : state) {
+    r = RunWorkload(cfg);
+  }
+  state.counters["parallel_pct"] =
+      r.total_ns > 0 ? 100.0 * r.overlap_ns / r.total_ns : 0.0;
+}
+
+void BM_Fig18Mean(benchmark::State& state, Mechanism mechanism) {
+  double mean = 0;
+  for (auto _ : state) {
+    std::vector<double> pcts;
+    for (const std::string& w : EvaluatedWorkloads()) {
+      RunConfig cfg;
+      cfg.workload = w;
+      cfg.mechanism = mechanism;
+      cfg.mode = ExecMode::kNdpMultiDelayed;
+      const RunResult r = RunWorkload(cfg);
+      pcts.push_back(r.total_ns > 0 ? 100.0 * r.overlap_ns / r.total_ns : 0.0);
+    }
+    double sum = 0;
+    for (double p : pcts) {
+      sum += p;
+    }
+    mean = sum / static_cast<double>(pcts.size());
+  }
+  state.counters["mean_parallel_pct"] = mean;
+}
+
+void RegisterAll() {
+  for (Mechanism mech : {Mechanism::kLogging, Mechanism::kCheckpointing,
+                         Mechanism::kShadowPaging}) {
+    for (const std::string& w : EvaluatedWorkloads()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig18/") + MechanismName(mech) + "/" + w).c_str(),
+          [w, mech](benchmark::State& s) { BM_Fig18(s, w, mech); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(
+        (std::string("fig18/") + MechanismName(mech) + "/MEAN").c_str(),
+        [mech](benchmark::State& s) { BM_Fig18Mean(s, mech); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  nearpm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 20: multithreaded throughput of the two real-server workloads,
+// Redis (threads share one PM pool) and Memcached (pool per thread), 1-16
+// threads, NearPM MD over the CPU baseline at the same thread count. The
+// speedup shrinks as threads contend for the four NearPM units per device
+// but stays above 1x (Section 8.3.1).
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace nearpm {
+namespace bench {
+namespace {
+
+void BM_Fig20(benchmark::State& state, const std::string& workload,
+              int threads) {
+  RunConfig cfg;
+  cfg.workload = workload;
+  cfg.mechanism = Mechanism::kLogging;
+  cfg.threads = threads;
+  cfg.ops = static_cast<std::uint64_t>(threads) * 250;
+  cfg.initial_keys = 300;
+  double base_mops = 0;
+  double ndp_mops = 0;
+  for (auto _ : state) {
+    cfg.mode = ExecMode::kCpuBaseline;
+    base_mops = RunWorkload(cfg).throughput_mops;
+    cfg.mode = ExecMode::kNdpMultiDelayed;
+    ndp_mops = RunWorkload(cfg).throughput_mops;
+  }
+  state.counters["threads"] = threads;
+  state.counters["baseline_mops"] = base_mops;
+  state.counters["nearpm_mops"] = ndp_mops;
+  state.counters["speedup"] = base_mops > 0 ? ndp_mops / base_mops : 0;
+}
+
+void RegisterAll() {
+  for (const std::string& w : {std::string("redis"), std::string("memcached")}) {
+    for (int threads : {1, 2, 4, 8, 16}) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig20/") + w + "/threads:" + std::to_string(threads))
+              .c_str(),
+          [w, threads](benchmark::State& s) { BM_Fig20(s, w, threads); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  nearpm::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/stats.h"
+
+namespace nearpm {
+namespace bench {
+
+const char* ShortModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kCpuBaseline:
+      return "Baseline";
+    case ExecMode::kNdpSingleDevice:
+      return "NearPM SD";
+    case ExecMode::kNdpMultiSwSync:
+      return "NearPM MD SW-sync";
+    case ExecMode::kNdpMultiDelayed:
+      return "NearPM MD";
+  }
+  return "?";
+}
+
+RunResult RunWorkload(const RunConfig& config) {
+  RuntimeOptions opts;
+  opts.mode = config.mode;
+  opts.units_per_device = config.units_per_device;
+  opts.max_threads = config.threads;
+  opts.pm_size = 512ull << 20;
+  opts.retain_crash_state = false;  // pure-performance run
+  Runtime rt(opts);
+  PoolArena arena(0);
+
+  auto workload = CreateWorkload(config.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", config.workload.c_str());
+    std::abort();
+  }
+  WorkloadConfig wc;
+  wc.mechanism = config.mechanism;
+  wc.threads = config.threads;
+  wc.data_size = config.data_size;
+  wc.initial_keys = config.initial_keys;
+  wc.seed = config.seed;
+  Status st = workload->Setup(rt, arena, wc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup(%s) failed: %s\n", config.workload.c_str(),
+                 st.ToString().c_str());
+    std::abort();
+  }
+  rt.DrainDevices(0);
+
+  // Measure from here: snapshot-and-subtract keeps clocks monotonic.
+  const RuntimeStats before = rt.stats();
+  Rng rng(config.seed * 31 + 1);
+  for (std::uint64_t i = 0; i < config.ops; ++i) {
+    const ThreadId t = static_cast<ThreadId>(i % config.threads);
+    st = workload->RunOp(t, rng);
+    if (!st.ok()) {
+      std::fprintf(stderr, "op %llu (%s) failed: %s\n",
+                   static_cast<unsigned long long>(i),
+                   config.workload.c_str(), st.ToString().c_str());
+      std::abort();
+    }
+  }
+  for (int t = 0; t < config.threads; ++t) {
+    rt.DrainDevices(static_cast<ThreadId>(t));
+  }
+  const RuntimeStats& after = rt.stats();
+
+  RunResult r;
+  r.total_ns = static_cast<double>(after.MaxThreadTime()) -
+               static_cast<double>(before.MaxThreadTime());
+  r.cc_region_ns = after.CcRegionNs() - before.CcRegionNs();
+  r.app_ns = after.AppNs() - before.AppNs();
+  r.overlap_ns = after.OverlapNs() - before.OverlapNs();
+  r.data_movement_ns = after.CategoryNs(CcCategory::kDataMovement) -
+                       before.CategoryNs(CcCategory::kDataMovement);
+  r.metadata_ns = after.CategoryNs(CcCategory::kMetadata) -
+                  before.CategoryNs(CcCategory::kMetadata);
+  r.ordering_ns = after.CategoryNs(CcCategory::kOrdering) -
+                  before.CategoryNs(CcCategory::kOrdering);
+  r.allocation_ns = after.CategoryNs(CcCategory::kAllocation) -
+                    before.CategoryNs(CcCategory::kAllocation);
+  r.ops = config.ops;
+  if (r.total_ns > 0) {
+    r.throughput_mops = static_cast<double>(config.ops) * 1e3 / r.total_ns;
+  }
+  return r;
+}
+
+double MeanSpeedup(Mechanism mechanism, ExecMode mode, bool region_time,
+                   const RunConfig& base) {
+  std::vector<double> ratios;
+  for (const std::string& name : EvaluatedWorkloads()) {
+    RunConfig cfg = base;
+    cfg.workload = name;
+    cfg.mechanism = mechanism;
+    cfg.mode = ExecMode::kCpuBaseline;
+    const RunResult baseline = RunWorkload(cfg);
+    cfg.mode = mode;
+    const RunResult ndp = RunWorkload(cfg);
+    const double num = region_time ? baseline.cc_region_ns : baseline.total_ns;
+    const double den = region_time ? ndp.cc_region_ns : ndp.total_ns;
+    if (den > 0) {
+      ratios.push_back(num / den);
+    }
+  }
+  return GeoMean(ratios);
+}
+
+}  // namespace bench
+}  // namespace nearpm

@@ -1,0 +1,60 @@
+// Shared benchmark harness: runs one workload configuration in the simulated
+// platform and extracts the virtual-time metrics the paper's figures plot.
+//
+// Wall-clock time of these binaries is meaningless; every reported number is
+// simulated nanoseconds from the runtime's cost model. Each binary prints a
+// table mirroring one figure of the paper (see EXPERIMENTS.md).
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <string>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+namespace bench {
+
+struct RunConfig {
+  std::string workload = "btree";
+  Mechanism mechanism = Mechanism::kLogging;
+  ExecMode mode = ExecMode::kCpuBaseline;
+  int threads = 1;
+  int units_per_device = 4;
+  std::uint64_t ops = 400;  // total operations across all threads
+  std::uint64_t initial_keys = 500;
+  std::uint64_t data_size = 4ull << 20;
+  std::uint64_t seed = 7;
+};
+
+struct RunResult {
+  double total_ns = 0;       // end-to-end virtual time (max over threads)
+  double cc_region_ns = 0;   // CPU time inside crash-consistency regions
+  double app_ns = 0;         // CPU time outside them
+  double overlap_ns = 0;     // CPU progress concurrent with NDP work
+  double data_movement_ns = 0;
+  double metadata_ns = 0;
+  double ordering_ns = 0;
+  double allocation_ns = 0;
+  std::uint64_t ops = 0;
+  double throughput_mops = 0;  // simulated ops per simulated second / 1e6
+
+  double cc_fraction() const {
+    return total_ns > 0 ? cc_region_ns / (cc_region_ns + app_ns) : 0;
+  }
+};
+
+// Runs `config.ops` operations round-robin over the configured threads and
+// returns metrics measured after the initial population (setup excluded).
+RunResult RunWorkload(const RunConfig& config);
+
+// Convenience: geometric-mean speedup of `mode` over the CPU baseline across
+// all nine workloads for one mechanism, using region or end-to-end time.
+double MeanSpeedup(Mechanism mechanism, ExecMode mode, bool region_time,
+                   const RunConfig& base);
+
+const char* ShortModeName(ExecMode mode);
+
+}  // namespace bench
+}  // namespace nearpm
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,64 @@
+// Crash-recovery demo on a real data structure: the PMDK-style B-tree under
+// repeated power failures, across all three crash-consistency mechanisms.
+//
+// Each round runs a burst of inserts, fails the power at an arbitrary point,
+// recovers, and re-verifies the full structural invariant set (key order,
+// subtree bounds, value integrity, count bookkeeping).
+//
+//   $ ./examples/kvstore_crash_recovery
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+using namespace nearpm;
+
+int main() {
+  for (Mechanism mech : {Mechanism::kLogging, Mechanism::kCheckpointing,
+                         Mechanism::kShadowPaging}) {
+    RuntimeOptions options;
+    options.mode = ExecMode::kNdpMultiDelayed;
+    options.pm_size = 256ull << 20;
+    Runtime rt(options);
+    PoolArena arena;
+
+    auto workload = CreateWorkload("btree");
+    WorkloadConfig config;
+    config.mechanism = mech;
+    config.initial_keys = 300;
+    config.data_size = 8ull << 20;
+    if (!workload->Setup(rt, arena, config).ok()) {
+      std::fprintf(stderr, "setup failed\n");
+      return 1;
+    }
+    rt.DrainDevices(0);
+
+    Rng rng(7);
+    int survived = 0;
+    for (int round = 0; round < 10; ++round) {
+      const int burst = 5 + static_cast<int>(rng.NextBounded(40));
+      for (int op = 0; op < burst; ++op) {
+        if (!workload->RunOp(0, rng).ok()) {
+          std::fprintf(stderr, "op failed\n");
+          return 1;
+        }
+      }
+      rt.InjectCrash(rng);           // power failure, NDP work in flight
+      workload->DropVolatile();      // the process dies with the machine
+      if (!workload->Recover().ok()) {
+        std::fprintf(stderr, "recovery failed\n");
+        return 1;
+      }
+      const Status verdict = workload->Verify();
+      if (!verdict.ok()) {
+        std::fprintf(stderr, "%s: INVARIANT VIOLATION after round %d: %s\n",
+                     MechanismName(mech), round, verdict.ToString().c_str());
+        return 1;
+      }
+      ++survived;
+    }
+    std::printf("%-14s survived %d crash/recover rounds, invariants intact\n",
+                MechanismName(mech), survived);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: a failure-atomic persistent counter on NearPM.
+//
+// Creates a simulated platform (two interleaved NearPM devices, delayed
+// synchronization), a persistent heap with undo logging, updates a record
+// transactionally, pulls the plug, and recovers.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/pmlib/heap.h"
+
+using namespace nearpm;
+
+int main() {
+  // 1. The platform: mode, devices, units -- Table 3 defaults.
+  RuntimeOptions options;
+  options.mode = ExecMode::kNdpMultiDelayed;  // two devices, PPO delayed sync
+  Runtime rt(options);
+
+  // 2. A persistent heap: pool + allocator + undo-logging provider.
+  PoolArena arena;
+  HeapOptions heap_options;
+  heap_options.mechanism = Mechanism::kLogging;
+  heap_options.data_size = 1 << 20;
+  auto heap_or = PersistentHeap::Create(rt, arena, heap_options);
+  if (!heap_or.ok()) {
+    std::fprintf(stderr, "heap creation failed: %s\n",
+                 heap_or.status().ToString().c_str());
+    return 1;
+  }
+  PersistentHeap& heap = **heap_or;
+
+  struct Record {
+    std::uint64_t counter;
+    std::uint64_t checksum;
+  };
+  const PmAddr rec_addr = heap.root();
+
+  // 3. A failure-atomic operation: the undo log is created near memory
+  //    (NearPM_undolog_create), the update runs on the CPU, and the log is
+  //    deleted off the critical path after a cross-device sync.
+  auto update = [&](std::uint64_t value) {
+    (void)heap.BeginOp(0);
+    Record rec{value, value ^ 0xabcdef};
+    (void)heap.Store(0, rec_addr, rec);
+    (void)heap.CommitOp(0);
+  };
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    update(i);
+  }
+  rt.DrainDevices(0);
+  std::printf("committed counter=10, simulated time %.2f us\n",
+              static_cast<double>(rt.Now(0)) / 1000.0);
+
+  // 4. Start an 11th update and pull the plug mid-operation.
+  (void)heap.BeginOp(0);
+  (void)heap.Store(0, rec_addr, Record{11, 11 ^ 0xabcdef});
+  Rng rng(42);
+  const CrashReport report = rt.InjectCrash(rng);
+  std::printf("crash: %llu NDP requests dropped, %llu truncated, "
+              "%llu CPU lines lost\n",
+              static_cast<unsigned long long>(report.requests_dropped),
+              static_cast<unsigned long long>(report.requests_truncated),
+              static_cast<unsigned long long>(report.cpu_lines_dropped));
+
+  // 5. Recover: hardware replay already ran inside InjectCrash; the
+  //    mechanism's software recovery rolls the torn operation back.
+  heap.DropVolatile();
+  if (!heap.Recover().ok()) {
+    std::fprintf(stderr, "recovery failed\n");
+    return 1;
+  }
+  auto rec = heap.Load<Record>(0, rec_addr);
+  std::printf("recovered counter=%llu (checksum %s)\n",
+              static_cast<unsigned long long>(rec->counter),
+              rec->checksum == (rec->counter ^ 0xabcdef) ? "ok" : "CORRUPT");
+  return rec->counter == 10 ? 0 : 1;
+}

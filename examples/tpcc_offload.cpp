@@ -1,0 +1,72 @@
+// OLTP offload demo: TPCC-lite under the four comparison points of the
+// paper's evaluation (Section 8.1), printing per-configuration virtual-time
+// results -- a miniature of Figures 15/16 for one workload.
+//
+//   $ ./examples/tpcc_offload
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/workloads/workload.h"
+
+using namespace nearpm;
+
+namespace {
+
+struct Result {
+  double total_us;
+  double cc_us;
+  double overlap_us;
+};
+
+Result Run(ExecMode mode) {
+  RuntimeOptions options;
+  options.mode = mode;
+  options.pm_size = 256ull << 20;
+  options.retain_crash_state = false;  // pure performance run
+  Runtime rt(options);
+  PoolArena arena;
+
+  auto workload = CreateWorkload("tpcc");
+  WorkloadConfig config;
+  config.mechanism = Mechanism::kLogging;
+  config.data_size = 8ull << 20;
+  if (!workload->Setup(rt, arena, config).ok()) {
+    std::abort();
+  }
+  rt.DrainDevices(0);
+  const RuntimeStats before = rt.stats();
+
+  Rng rng(13);
+  for (int tx = 0; tx < 500; ++tx) {
+    if (!workload->RunOp(0, rng).ok()) {
+      std::abort();
+    }
+  }
+  rt.DrainDevices(0);
+
+  Result r;
+  r.total_us = (static_cast<double>(rt.stats().MaxThreadTime()) -
+                static_cast<double>(before.MaxThreadTime())) /
+               1000.0;
+  r.cc_us = (rt.stats().CcRegionNs() - before.CcRegionNs()) / 1000.0;
+  r.overlap_us = (rt.stats().OverlapNs() - before.OverlapNs()) / 1000.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TPCC-lite, 500 transactions, undo logging\n");
+  std::printf("%-22s %12s %12s %12s %10s %10s\n", "configuration",
+              "total (us)", "cc (us)", "overlap(us)", "speedup", "cc speedup");
+  const Result base = Run(ExecMode::kCpuBaseline);
+  for (ExecMode mode :
+       {ExecMode::kCpuBaseline, ExecMode::kNdpSingleDevice,
+        ExecMode::kNdpMultiSwSync, ExecMode::kNdpMultiDelayed}) {
+    const Result r = mode == ExecMode::kCpuBaseline ? base : Run(mode);
+    std::printf("%-22s %12.1f %12.1f %12.1f %9.2fx %9.2fx\n",
+                ExecModeName(mode), r.total_us, r.cc_us, r.overlap_us,
+                base.total_us / r.total_us, base.cc_us / r.cc_us);
+  }
+  return 0;
+}

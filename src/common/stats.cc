@@ -1,0 +1,75 @@
+#include "src/common/stats.h"
+
+#include <bit>
+#include <cmath>
+
+namespace nearpm {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram() = default;
+
+void Histogram::Add(std::uint64_t value) {
+  const int bucket = value == 0 ? 0 : std::bit_width(value);
+  buckets_[bucket >= kBuckets ? kBuckets - 1 : bucket] += 1;
+  ++total_;
+}
+
+std::uint64_t Histogram::Percentile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return i == 0 ? 0 : (1ULL << i) - 1;  // bucket upper bound
+    }
+  }
+  return ~0ULL;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  out += "p50=" + std::to_string(Percentile(0.50));
+  out += " p90=" + std::to_string(Percentile(0.90));
+  out += " p99=" + std::to_string(Percentile(0.99));
+  out += " n=" + std::to_string(total_);
+  return out;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace nearpm

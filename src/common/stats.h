@@ -1,0 +1,56 @@
+// Small statistics helpers used by the benchmark harness to report the
+// mean / stddev the paper plots as bars with error whiskers.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nearpm {
+
+// Welford online mean / variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket latency histogram with percentile queries (power-of-two
+// bucketing, values in arbitrary units).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(std::uint64_t value);
+  std::uint64_t count() const { return total_; }
+  // Returns an upper bound for the q-quantile (q in [0,1]).
+  std::uint64_t Percentile(double q) const;
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+// Geometric mean of a set of ratios (the paper reports average speedups).
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace nearpm
+
+#endif  // SRC_COMMON_STATS_H_

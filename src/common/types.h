@@ -1,0 +1,56 @@
+// Fundamental identifier and address types shared by every NearPM module.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nearpm {
+
+// Byte offset into the global (possibly device-interleaved) PM address space.
+// The simulated "virtual address" of persistent data: pools hand out ranges of
+// this space, and the NDP address-mapping table translates them to
+// device-local physical offsets.
+using PmAddr = std::uint64_t;
+
+// Identifier of a PM pool created through the pmlib allocator. Pool ids are
+// unique for the lifetime of a simulated machine, including across simulated
+// restarts (so NDP address translations stay valid over context switches).
+using PoolId = std::uint32_t;
+
+// Application thread issuing NearPM commands. Used, together with the pool id,
+// to index per-thread logging/checkpoint state (Table 2 of the paper).
+using ThreadId = std::uint32_t;
+
+// Index of a NearPM device in an interleaved set.
+using DeviceId = std::uint32_t;
+
+inline constexpr std::size_t kCacheLineSize = 64;
+inline constexpr std::size_t kPmPageSize = 4096;  // checkpoint/shadow granularity
+
+// Rounds `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t AlignUp(std::uint64_t n, std::uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+constexpr std::uint64_t AlignDown(std::uint64_t n, std::uint64_t align) {
+  return n & ~(align - 1);
+}
+
+// A half-open byte range [begin, end) in the PM address space.
+struct AddrRange {
+  PmAddr begin = 0;
+  PmAddr end = 0;
+
+  constexpr std::uint64_t size() const { return end - begin; }
+  constexpr bool empty() const { return begin >= end; }
+  constexpr bool Contains(PmAddr a) const { return a >= begin && a < end; }
+  constexpr bool Overlaps(const AddrRange& o) const {
+    return !empty() && !o.empty() && begin < o.end && o.begin < end;
+  }
+  friend constexpr bool operator==(const AddrRange&, const AddrRange&) = default;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,84 @@
+// Virtual-time accounting of where execution time goes.
+//
+// Reproduces the measurements behind Figure 1 (crash-consistency overhead and
+// its breakdown), Figures 15/16 (region and end-to-end speedups) and
+// Figure 18 (CPU/NDP overlap).
+#ifndef SRC_CORE_CC_STATS_H_
+#define SRC_CORE_CC_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+namespace nearpm {
+
+// Cost categories inside a crash-consistency region (Figure 1b-d).
+enum class CcCategory : std::uint8_t {
+  kApp = 0,          // outside any crash-consistency region
+  kDataMovement,     // log/checkpoint/shadow copies
+  kMetadata,         // metadata generation and log deletion
+  kOrdering,         // fences, conflict stalls, synchronization waits
+  kAllocation,       // persistent allocation bookkeeping
+  kCount,
+};
+
+const char* CcCategoryName(CcCategory c);
+
+struct ThreadClock {
+  SimTime now = 0;
+  bool in_cc = false;
+  CcCategory category = CcCategory::kApp;
+};
+
+class RuntimeStats {
+ public:
+  explicit RuntimeStats(int max_threads);
+
+  // Charges `ns` of CPU time on thread `t` under its current category.
+  void Charge(ThreadId t, double ns);
+  // Charges time under an explicit category (primitives use this).
+  void ChargeAs(ThreadId t, double ns, CcCategory category);
+  // Advances thread time to `until` (a stall), charged as ordering.
+  void StallUntil(ThreadId t, SimTime until);
+
+  void BeginCc(ThreadId t) { clocks_[t].in_cc = true; }
+  void EndCc(ThreadId t) {
+    clocks_[t].in_cc = false;
+    clocks_[t].category = CcCategory::kApp;
+  }
+  bool InCc(ThreadId t) const { return clocks_[t].in_cc; }
+  void SetCategory(ThreadId t, CcCategory c) { clocks_[t].category = c; }
+  CcCategory Category(ThreadId t) const { return clocks_[t].category; }
+
+  SimTime now(ThreadId t) const { return clocks_[t].now; }
+  void SetNow(ThreadId t, SimTime when) { clocks_[t].now = when; }
+
+  // NDP busy interval observed beyond the CPU release point (for overlap).
+  void AddNdpBusy(SimTime cpu_release, SimTime completion);
+
+  // ---- Aggregates -----------------------------------------------------------
+  // Latest CPU time across threads.
+  SimTime MaxThreadTime() const;
+  // Total CPU time in crash-consistency regions (all threads).
+  double CcRegionNs() const;
+  double AppNs() const;
+  double TotalNs() const { return CcRegionNs() + AppNs(); }
+  double CategoryNs(CcCategory c) const { return category_ns_[static_cast<int>(c)]; }
+  // Time during which the CPU made progress while NDP work was outstanding.
+  double OverlapNs() const { return overlap_ns_; }
+
+  void Reset();
+  std::string Summary() const;
+
+ private:
+  std::vector<ThreadClock> clocks_;
+  double category_ns_[static_cast<int>(CcCategory::kCount)] = {};
+  double overlap_ns_ = 0.0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_CORE_CC_STATS_H_

@@ -1,0 +1,16 @@
+#include "src/core/log_layout.h"
+
+namespace nearpm {
+
+std::uint64_t Checksum64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  // Never return 0 so "checksum present" is distinguishable from a zeroed
+  // slot even for empty payloads.
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace nearpm

@@ -1,0 +1,61 @@
+// Runtime configuration: execution modes and platform parameters.
+#ifndef SRC_CORE_OPTIONS_H_
+#define SRC_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+namespace nearpm {
+
+// The four comparison points of Section 8.1.
+enum class ExecMode : std::uint8_t {
+  kCpuBaseline,      // crash consistency executes entirely on the CPU
+  kNdpSingleDevice,  // offloaded to one NearPM device
+  kNdpMultiSwSync,   // two devices, CPU-polling software synchronization
+  kNdpMultiDelayed,  // two devices, PPO delayed synchronization
+};
+
+const char* ExecModeName(ExecMode mode);
+
+struct RuntimeOptions {
+  ExecMode mode = ExecMode::kNdpMultiDelayed;
+  // Devices used in multi-device modes (single-device modes use 1).
+  int num_devices = 2;
+  int units_per_device = 4;       // Table 3: four NearPM units per device
+  std::size_t fifo_capacity = 32; // Table 3: 32-entry request FIFO
+  std::uint64_t pm_size = 64ull << 20;
+  // Devices interleave at DIMM-like granularity, so persistent objects and
+  // pages span devices (the multi-device scenario of Sections 2.3/3.2).
+  std::uint64_t interleave_stripe = 256;
+  int max_threads = 16;
+  // PPO enforcement. Setting this to false reproduces the unsound "naive
+  // offload" of Section 2.3: CPU accesses do not stall behind conflicting
+  // in-flight NDP work and commits are not synchronized across devices.
+  bool enforce_ppo = true;
+  // Functional crash bookkeeping (disable for pure-performance benchmarks).
+  bool retain_crash_state = true;
+  double pending_line_survival = 0.5;
+  CostModel cost;
+
+  // Effective device count for the selected mode.
+  int EffectiveDevices() const {
+    switch (mode) {
+      case ExecMode::kCpuBaseline:
+      case ExecMode::kNdpSingleDevice:
+        return 1;
+      case ExecMode::kNdpMultiSwSync:
+      case ExecMode::kNdpMultiDelayed:
+        return num_devices;
+    }
+    return 1;
+  }
+
+  bool UsesNdp() const { return mode != ExecMode::kCpuBaseline; }
+  bool MultiDevice() const { return EffectiveDevices() > 1; }
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_CORE_OPTIONS_H_

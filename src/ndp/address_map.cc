@@ -1,0 +1,44 @@
+#include "src/ndp/address_map.h"
+
+namespace nearpm {
+
+Status AddressMappingTable::RegisterPool(PoolId pool, std::uint64_t virt_base,
+                                         PmAddr phys_base,
+                                         std::uint64_t size) {
+  if (size == 0) {
+    return InvalidArgument("pool size must be nonzero");
+  }
+  auto [it, inserted] =
+      pools_.emplace(pool, PoolEntry{virt_base, phys_base, size});
+  if (!inserted) {
+    return AlreadyExists("pool id already registered");
+  }
+  return Status::Ok();
+}
+
+Status AddressMappingTable::UnregisterPool(PoolId pool) {
+  if (pools_.erase(pool) == 0) {
+    return NotFound("pool id not registered");
+  }
+  return Status::Ok();
+}
+
+StatusOr<AddressMappingTable::Translation> AddressMappingTable::Translate(
+    PoolId pool, std::uint64_t virt_addr, std::uint64_t size) const {
+  auto it = pools_.find(pool);
+  if (it == pools_.end()) {
+    return NotFound("pool id not in address mapping table");
+  }
+  const PoolEntry& e = it->second;
+  if (virt_addr < e.virt_base || virt_addr + size > e.virt_base + e.size ||
+      virt_addr + size < virt_addr) {
+    return OutOfRange("address escapes pool bounds");
+  }
+  Translation t;
+  t.global = e.phys_base + (virt_addr - e.virt_base);
+  t.device = interleave_->DeviceOf(t.global);
+  t.local_offset = interleave_->LocalOffsetOf(t.global);
+  return t;
+}
+
+}  // namespace nearpm

@@ -1,0 +1,60 @@
+// Address Mapping Table (Section 5.4).
+//
+// NearPM commands carry virtual addresses; the device translates them without
+// involving the host TLB by exploiting the pool abstraction of PM libraries:
+// when a pool is created, the runtime registers the pool's base translation
+// with every device, and any address inside the pool translates as
+// base offset + delta. The table is indexed by pool id (plus thread id for
+// multi-threaded pools whose per-thread regions map separately), and stays
+// valid across context switches because pool ids are system-unique.
+#ifndef SRC_NDP_ADDRESS_MAP_H_
+#define SRC_NDP_ADDRESS_MAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/pmem/interleave.h"
+
+namespace nearpm {
+
+class AddressMappingTable {
+ public:
+  explicit AddressMappingTable(const InterleaveMap* interleave)
+      : interleave_(interleave) {}
+
+  // Registers a pool: virtual range [virt_base, virt_base+size) maps to the
+  // global physical range [phys_base, phys_base+size).
+  Status RegisterPool(PoolId pool, std::uint64_t virt_base, PmAddr phys_base,
+                      std::uint64_t size);
+  Status UnregisterPool(PoolId pool);
+
+  struct Translation {
+    PmAddr global = 0;        // global physical address
+    DeviceId device = 0;      // owning device of the first byte
+    PmAddr local_offset = 0;  // device-local physical offset
+  };
+
+  // Translates a virtual address belonging to `pool`. Fails if the pool is
+  // unknown or the address (plus size) escapes the pool -- the boundary check
+  // Section 9 describes for multi-tenancy.
+  StatusOr<Translation> Translate(PoolId pool, std::uint64_t virt_addr,
+                                  std::uint64_t size) const;
+
+  std::size_t pool_count() const { return pools_.size(); }
+
+ private:
+  struct PoolEntry {
+    std::uint64_t virt_base = 0;
+    PmAddr phys_base = 0;
+    std::uint64_t size = 0;
+  };
+
+  const InterleaveMap* interleave_;
+  std::unordered_map<PoolId, PoolEntry> pools_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_NDP_ADDRESS_MAP_H_

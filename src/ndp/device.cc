@@ -1,0 +1,173 @@
+#include "src/ndp/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nearpm {
+
+NearPmDevice::NearPmDevice(DeviceId id, const CostModel* cost, int num_units,
+                           std::size_t fifo_capacity, PmSpace* space)
+    : id_(id),
+      cost_(cost),
+      space_(space),
+      units_(num_units),
+      fifo_capacity_(fifo_capacity) {
+  assert(num_units >= 1);
+  assert(fifo_capacity_ >= 1);
+}
+
+NearPmDevice::IssueResult NearPmDevice::Issue(
+    std::uint64_t seq, SimTime cpu_now, const AddrRange& read_range,
+    const AddrRange& write_range, const std::vector<NdpWorkItem>& work,
+    SimTime earliest_start) {
+  IssueResult result;
+
+  // 1. MMIO command post on the dedicated control path.
+  result.cpu_release = cpu_now + NsToTime(cost_->cmd_post_ns);
+
+  // 2. Request FIFO backpressure: posting stalls the CPU while all entries
+  //    are occupied. An entry frees when its request is dispatched to a unit.
+  while (!fifo_dispatch_times_.empty() &&
+         fifo_dispatch_times_.front() <= result.cpu_release) {
+    fifo_dispatch_times_.pop_front();
+  }
+  while (fifo_dispatch_times_.size() >= fifo_capacity_) {
+    result.cpu_release =
+        std::max(result.cpu_release, fifo_dispatch_times_.front());
+    fifo_dispatch_times_.pop_front();
+    ++stats_.fifo_backpressure_stalls;
+  }
+
+  // 3. Decode + address translation + conflict check in the Dispatcher.
+  const SimTime arrival =
+      result.cpu_release + NsToTime(cost_->cmd_device_pipeline_ns);
+  SimTime start_lb = std::max(arrival, earliest_start);
+
+  // 4. NDP-NDP ordering: a request conflicting with an in-flight one is
+  //    buffered until the in-flight access completes (Section 5.3.1).
+  const SimTime rd_conflict =
+      inflight_.Conflicts(read_range, /*access_is_write=*/false, cpu_now);
+  const SimTime wr_conflict =
+      inflight_.Conflicts(write_range, /*access_is_write=*/true, cpu_now);
+  const SimTime conflict_free_at = std::max(rd_conflict, wr_conflict);
+  if (conflict_free_at > start_lb) {
+    start_lb = conflict_free_at;
+    ++stats_.dispatcher_conflict_stalls;
+  }
+
+  // 5. Execute on the earliest-available NearPM unit.
+  const double work_ns = NdpWorkNs(*cost_, work);
+  result.completion = units_.Schedule(start_lb, work_ns);
+  const SimTime dispatch_time = result.completion - NsToTime(work_ns);
+  fifo_dispatch_times_.push_back(dispatch_time);
+
+  inflight_.Prune(cpu_now);
+  inflight_.Insert(
+      InflightTable::Entry{seq, read_range, write_range, result.completion});
+  last_completion_ = std::max(last_completion_, result.completion);
+  stats_.unit_busy_ns += work_ns;
+  ++stats_.requests;
+
+  // 6. Functional execution. Reads observe (and thereby order after) earlier
+  //    NDP writes to the same lines; writes are tagged with the request and
+  //    its execution window for crash rollback.
+  space_->ObserveRange(read_range);
+  space_->GuardRange(id_, seq, read_range);
+  space_->GuardRange(id_, seq, write_range);
+  space_->BeginNdpRequest(id_, seq, dispatch_time, result.completion);
+  for (const NdpWorkItem& item : work) {
+    switch (item.kind) {
+      case NdpWorkItem::Kind::kCopy: {
+        copy_buffer_.resize(item.size);
+        space_->NdpRead(item.src, copy_buffer_);
+        space_->NdpWrite(id_, seq, item.dst, copy_buffer_);
+        break;
+      }
+      case NdpWorkItem::Kind::kLiteral:
+        space_->NdpWrite(id_, seq, item.dst, item.literal);
+        break;
+    }
+  }
+  return result;
+}
+
+SimTime NearPmDevice::HostAccessBarrier(const AddrRange& range, bool is_write,
+                                        SimTime now) {
+  if (range.empty()) {
+    return now;
+  }
+  std::vector<std::uint64_t> conflicting;
+  const SimTime free_at = inflight_.Conflicts(range, is_write, now,
+                                              &conflicting);
+  // The CPU access is now ordered after these requests' completion.
+  for (std::uint64_t seq : conflicting) {
+    space_->RetireRequest(id_, seq);
+  }
+  inflight_.Prune(now);
+  if (free_at > now) {
+    ++stats_.host_access_stalls;
+    return free_at;
+  }
+  return now;
+}
+
+NearPmDevice::IssueResult NearPmDevice::IssueDeferred(
+    std::uint64_t seq, SimTime cpu_now, const AddrRange& write_range,
+    const std::vector<NdpWorkItem>& work, SimTime earliest_start) {
+  IssueResult result;
+  result.cpu_release = cpu_now + NsToTime(cost_->cmd_post_ns);
+  const SimTime arrival =
+      result.cpu_release + NsToTime(cost_->cmd_device_pipeline_ns);
+  SimTime start_lb = std::max(arrival, earliest_start);
+  const SimTime wr_conflict =
+      inflight_.Conflicts(write_range, /*access_is_write=*/true, cpu_now);
+  start_lb = std::max(start_lb, wr_conflict);
+  const double work_ns = NdpWorkNs(*cost_, work);
+  result.completion = deferred_.Schedule(start_lb, work_ns);
+  inflight_.Prune(cpu_now);
+  inflight_.Insert(
+      InflightTable::Entry{seq, AddrRange{}, write_range, result.completion});
+  stats_.unit_busy_ns += work_ns;
+  ++stats_.requests;
+
+  space_->BeginNdpRequest(id_, seq, result.completion - NsToTime(work_ns),
+                          result.completion);
+  for (const NdpWorkItem& item : work) {
+    switch (item.kind) {
+      case NdpWorkItem::Kind::kCopy: {
+        copy_buffer_.resize(item.size);
+        space_->NdpRead(item.src, copy_buffer_);
+        space_->NdpWrite(id_, seq, item.dst, copy_buffer_);
+        break;
+      }
+      case NdpWorkItem::Kind::kLiteral:
+        space_->NdpWrite(id_, seq, item.dst, item.literal);
+        break;
+    }
+  }
+  return result;
+}
+
+void NearPmDevice::HostWritebackAccepted(const AddrRange& range, SimTime now) {
+  if (range.empty()) {
+    return;
+  }
+  std::vector<std::uint64_t> conflicting;
+  inflight_.Conflicts(range, /*access_is_write=*/true, now, &conflicting);
+  for (std::uint64_t seq : conflicting) {
+    space_->RetireRequest(id_, seq);
+    ++stats_.host_buffered_writebacks;
+  }
+  inflight_.Prune(now);
+}
+
+void NearPmDevice::Reset() {
+  units_.Reset();
+  deferred_.Reset();
+  fifo_dispatch_times_.clear();
+  inflight_.Clear();
+  last_completion_ = 0;
+  stats_ = DeviceStats{};
+}
+
+}  // namespace nearpm

@@ -1,0 +1,35 @@
+#include "src/ndp/inflight_table.h"
+
+#include <algorithm>
+
+namespace nearpm {
+
+SimTime InflightTable::Conflicts(const AddrRange& range, bool access_is_write,
+                                 SimTime now,
+                                 std::vector<std::uint64_t>* conflicts) const {
+  SimTime latest = 0;
+  if (range.empty()) {
+    return latest;
+  }
+  for (const Entry& e : entries_) {
+    if (e.completion <= now) {
+      continue;  // already drained; Prune will drop it
+    }
+    // Write-write, write-read and read-write conflict; read-read does not.
+    const bool hit = e.write.Overlaps(range) ||
+                     (access_is_write && e.read.Overlaps(range));
+    if (hit) {
+      latest = std::max(latest, e.completion);
+      if (conflicts != nullptr) {
+        conflicts->push_back(e.seq);
+      }
+    }
+  }
+  return latest;
+}
+
+void InflightTable::Prune(SimTime now) {
+  std::erase_if(entries_, [now](const Entry& e) { return e.completion <= now; });
+}
+
+}  // namespace nearpm

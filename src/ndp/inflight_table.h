@@ -1,0 +1,48 @@
+// In-flight memory access table (Section 5.1).
+//
+// Tracks the address ranges currently being read or written by NearPM units
+// so the Dispatcher can (a) stall a new request that conflicts with an
+// in-flight one and (b) stall an incoming host access that conflicts with an
+// in-flight request -- the hardware half of Invariants 1 and 2.
+#ifndef SRC_NDP_INFLIGHT_TABLE_H_
+#define SRC_NDP_INFLIGHT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+namespace nearpm {
+
+class InflightTable {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;
+    AddrRange read;    // addresses the request reads
+    AddrRange write;   // addresses the request writes
+    SimTime completion = 0;
+  };
+
+  void Insert(const Entry& entry) { entries_.push_back(entry); }
+
+  // Latest completion time among in-flight entries whose read or write range
+  // overlaps `range` (for a writer) or whose write range overlaps (for a
+  // reader). Appends the seqs of the conflicting entries to `conflicts` when
+  // non-null. Returns 0 when there is no conflict.
+  SimTime Conflicts(const AddrRange& range, bool access_is_write, SimTime now,
+                    std::vector<std::uint64_t>* conflicts = nullptr) const;
+
+  // Drops entries that completed at or before `now`.
+  void Prune(SimTime now);
+
+  std::size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_NDP_INFLIGHT_TABLE_H_

@@ -1,0 +1,36 @@
+#include "src/ndp/recovery_journal.h"
+
+#include <algorithm>
+
+namespace nearpm {
+
+void RecoveryJournal::Remove(std::uint64_t seq) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [seq](const Entry& e) { return e.request.seq == seq; });
+  if (it != entries_.end()) {
+    entries_.erase(it);
+  }
+}
+
+void RecoveryJournal::RemoveCompletedBefore(std::uint64_t now) {
+  std::erase_if(entries_,
+                [now](const Entry& e) { return e.completion <= now; });
+}
+
+void RecoveryJournal::RemoveThroughSync(std::uint64_t sync_id) {
+  std::erase_if(entries_,
+                [sync_id](const Entry& e) { return e.after_sync < sync_id; });
+}
+
+std::vector<RecoveryJournal::Entry> RecoveryJournal::ReplaySet(
+    std::uint64_t frontier) const {
+  std::vector<Entry> out;
+  for (const Entry& e : entries_) {
+    if (e.after_sync < frontier) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace nearpm

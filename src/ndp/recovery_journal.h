@@ -1,0 +1,70 @@
+// Persistence-domain request journal (Section 5.3.3).
+//
+// NearPM keeps its Request FIFO, in-flight request registers and host queue
+// inside the persistence domain (~7 kB, capacitor-flushed to a reserved PM
+// region on power failure). We model that state as a journal of issued
+// requests: an entry is added when the command is posted and removed once the
+// request's completion is architecturally observed (a conflict stall, a
+// polled completion, or a passed synchronization). After a failure, hardware
+// recovery replays the journalled requests in issue order up to the latest
+// synchronization point every device had reached; requests beyond that point
+// are left to the software mechanism's recovery (their logs are still
+// intact -- that is what delayed synchronization guarantees).
+#ifndef SRC_NDP_RECOVERY_JOURNAL_H_
+#define SRC_NDP_RECOVERY_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/ndp/request.h"
+
+namespace nearpm {
+
+class RecoveryJournal {
+ public:
+  struct Entry {
+    NearPmRequest request;
+    // Latest synchronization id issued before this request.
+    std::uint64_t after_sync = 0;
+    // Device completion time: the request leaves the FIFO when it finishes
+    // executing, so a crash after this instant does not replay it (its
+    // effects are already durable).
+    std::uint64_t completion = 0;
+  };
+
+  void Add(const NearPmRequest& request, std::uint64_t after_sync,
+           std::uint64_t completion) {
+    entries_.push_back(Entry{request, after_sync, completion});
+  }
+
+  // The request's completion was observed; it is no longer in flight.
+  void Remove(std::uint64_t seq);
+
+  // Drops entries whose execution completed at or before `now` (they left
+  // the request FIFO).
+  void RemoveCompletedBefore(std::uint64_t now);
+
+  // A synchronization completed: everything issued before it has persisted
+  // on every device (Invariant 3) and leaves the in-flight window.
+  void RemoveThroughSync(std::uint64_t sync_id);
+
+  // Requests the hardware recovery procedure replays after a failure:
+  // journalled requests issued before the `frontier` synchronization, in
+  // issue order. With frontier == 0 (no sync ever reached) nothing replays.
+  std::vector<Entry> ReplaySet(std::uint64_t frontier) const;
+
+  // Everything still journalled (used by software recovery to know which
+  // operations were in flight past the frontier).
+  const std::deque<Entry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_NDP_RECOVERY_JOURNAL_H_

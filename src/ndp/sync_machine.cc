@@ -1,0 +1,61 @@
+#include "src/ndp/sync_machine.h"
+
+#include <algorithm>
+
+namespace nearpm {
+
+SyncStateMachine::SyncStateMachine(int participants)
+    : participants_(participants),
+      remote_done_(static_cast<size_t>(std::max(0, participants - 1)), false) {}
+
+Status SyncStateMachine::ReceiveCommand() {
+  if (state_ != State::kAllComplete) {
+    return FailedPrecondition("command received while still executing");
+  }
+  state_ = State::kExecuting;
+  local_done_ = false;
+  std::fill(remote_done_.begin(), remote_done_.end(), false);
+  ++commands_tracked_;
+  return Status::Ok();
+}
+
+Status SyncStateMachine::ReceiveLocalComplete() {
+  if (state_ != State::kExecuting) {
+    return FailedPrecondition("local completion outside executing state");
+  }
+  if (local_done_) {
+    return FailedPrecondition("duplicate local completion");
+  }
+  local_done_ = true;
+  MaybeComplete();
+  return Status::Ok();
+}
+
+Status SyncStateMachine::ReceiveRemoteComplete(DeviceId remote) {
+  if (state_ != State::kExecuting) {
+    return FailedPrecondition("remote completion outside executing state");
+  }
+  if (remote >= remote_done_.size()) {
+    return InvalidArgument("remote device index out of range");
+  }
+  if (remote_done_[remote]) {
+    return FailedPrecondition("duplicate remote completion");
+  }
+  remote_done_[remote] = true;
+  MaybeComplete();
+  return Status::Ok();
+}
+
+void SyncStateMachine::MaybeComplete() {
+  if (!local_done_) {
+    return;
+  }
+  for (bool done : remote_done_) {
+    if (!done) {
+      return;
+    }
+  }
+  state_ = State::kAllComplete;
+}
+
+}  // namespace nearpm

@@ -1,0 +1,57 @@
+// Synchronization state machine of the Multi-device handler (Figure 12).
+//
+// For every command duplicated across devices, each device tracks whether its
+// local execution and every remote execution of the same command have
+// completed. The machine leaves All-Complete when the duplicated command is
+// received and returns once local + all remote completion signals arrived;
+// writes ordered after the synchronization may only persist after every
+// participant is back in All-Complete (Invariant 3).
+#ifndef SRC_NDP_SYNC_MACHINE_H_
+#define SRC_NDP_SYNC_MACHINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace nearpm {
+
+class SyncStateMachine {
+ public:
+  enum class State : std::uint8_t {
+    kAllComplete,  // C: no duplicated command outstanding
+    kExecuting,    // E: waiting for local and/or remote completion signals
+  };
+
+  // `participants`: number of devices the command was duplicated to.
+  explicit SyncStateMachine(int participants);
+
+  State state() const { return state_; }
+  int participants() const { return participants_; }
+
+  // A duplicated command was received; moves C -> E.
+  Status ReceiveCommand();
+  // Local execution finished.
+  Status ReceiveLocalComplete();
+  // A remote device signalled completion.
+  Status ReceiveRemoteComplete(DeviceId remote);
+
+  // True when local and all remote completions have been observed (state C).
+  bool AllComplete() const { return state_ == State::kAllComplete; }
+
+  std::uint64_t commands_tracked() const { return commands_tracked_; }
+
+ private:
+  void MaybeComplete();
+
+  int participants_;
+  State state_ = State::kAllComplete;
+  bool local_done_ = false;
+  std::vector<bool> remote_done_;
+  std::uint64_t commands_tracked_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_NDP_SYNC_MACHINE_H_

@@ -1,0 +1,158 @@
+#include "src/pmlib/alloc.h"
+
+#include <bit>
+#include <cassert>
+
+#include "src/core/cc_stats.h"
+
+namespace nearpm {
+
+PmAllocator::PmAllocator(const PmPool* pool)
+    : pool_(pool), free_chunks_(kNumClasses) {}
+
+int PmAllocator::ClassIndex(std::uint64_t size) {
+  if (size == 0 || size > kMaxBlock) {
+    return -1;
+  }
+  const std::uint64_t rounded = std::bit_ceil(size < kMinBlock ? kMinBlock : size);
+  return std::countr_zero(rounded) - std::countr_zero(kMinBlock);
+}
+
+PmAddr PmAllocator::HeaderAddr(std::uint64_t chunk) const {
+  return pool_->chunk_headers() + chunk * sizeof(ChunkHeader);
+}
+
+ChunkHeader PmAllocator::LoadHeader(ThreadId t, std::uint64_t chunk) const {
+  return pool_->rt().Load<ChunkHeader>(t, HeaderAddr(chunk));
+}
+
+void PmAllocator::StoreHeader(ThreadId t, std::uint64_t chunk,
+                              const ChunkHeader& h) {
+  Runtime& rt = pool_->rt();
+  rt.Store(t, HeaderAddr(chunk), h);
+  rt.Persist(t, HeaderAddr(chunk), sizeof(ChunkHeader));
+}
+
+void PmAllocator::Format(ThreadId t) {
+  const ChunkHeader empty;
+  for (std::uint64_t c = 0; c < pool_->num_chunks(); ++c) {
+    StoreHeader(t, c, empty);
+  }
+  // Chunk 0 is the heap's root page: reserve it by marking it a full
+  // 4096-byte-class chunk so it is never handed out.
+  ChunkHeader root;
+  root.magic = kChunkMagic;
+  root.class_size = kPmPageSize;
+  root.bitmap = 1;
+  StoreHeader(t, 0, root);
+  for (auto& list : free_chunks_) {
+    list.clear();
+  }
+  next_fresh_chunk_ = 1;
+  allocated_ = 0;
+}
+
+void PmAllocator::RebuildVolatile() {
+  for (auto& list : free_chunks_) {
+    list.clear();
+  }
+  next_fresh_chunk_ = pool_->num_chunks();
+  allocated_ = 0;
+  std::uint64_t first_fresh = pool_->num_chunks();
+  // Chunk 0 is the reserved root page; it stays out of the free index and
+  // the allocation count.
+  for (std::uint64_t c = 1; c < pool_->num_chunks(); ++c) {
+    const ChunkHeader h = pool_->rt().Load<ChunkHeader>(0, HeaderAddr(c));
+    if (h.magic != kChunkMagic) {
+      if (first_fresh == pool_->num_chunks()) {
+        first_fresh = c;
+      }
+      continue;
+    }
+    const int cls = ClassIndex(h.class_size);
+    assert(cls >= 0);
+    const std::uint64_t blocks = kPmPageSize / h.class_size;
+    const std::uint64_t used = std::popcount(h.bitmap);
+    allocated_ += used;
+    if (used < blocks) {
+      free_chunks_[cls].push_back(c);
+    }
+  }
+  next_fresh_chunk_ = first_fresh;
+}
+
+StatusOr<PmAddr> PmAllocator::Alloc(ThreadId t, std::uint64_t size) {
+  const int cls = ClassIndex(size);
+  if (cls < 0) {
+    return InvalidArgument("allocation size out of range");
+  }
+  Runtime& rt = pool_->rt();
+  rt.stats().SetCategory(t, CcCategory::kAllocation);
+  rt.Compute(t, rt.options().cost.cpu_alloc_ns);
+
+  std::uint64_t chunk;
+  ChunkHeader h;
+  if (!free_chunks_[cls].empty()) {
+    chunk = free_chunks_[cls].back();
+    h = LoadHeader(t, chunk);
+  } else {
+    if (next_fresh_chunk_ >= pool_->num_chunks()) {
+      return ResourceExhausted("pool data window full");
+    }
+    chunk = next_fresh_chunk_++;
+    h = ChunkHeader{};
+    h.magic = kChunkMagic;
+    h.class_size = ClassSize(cls);
+    free_chunks_[cls].push_back(chunk);
+  }
+
+  const std::uint64_t blocks = kPmPageSize / h.class_size;
+  const std::uint64_t mask =
+      blocks == 64 ? ~0ULL : ((1ULL << blocks) - 1);
+  const std::uint64_t free_bits = ~h.bitmap & mask;
+  assert(free_bits != 0);
+  const int bit = std::countr_zero(free_bits);
+  h.bitmap |= (1ULL << bit);
+  StoreHeader(t, chunk, h);
+  if ((h.bitmap & mask) == mask) {
+    free_chunks_[cls].pop_back();
+  }
+  ++allocated_;
+  return pool_->data_base() + chunk * kPmPageSize +
+         static_cast<std::uint64_t>(bit) * h.class_size;
+}
+
+Status PmAllocator::Free(ThreadId t, PmAddr addr, std::uint64_t size) {
+  const int cls = ClassIndex(size);
+  if (cls < 0) {
+    return InvalidArgument("free size out of range");
+  }
+  if (addr < pool_->data_base() ||
+      addr >= pool_->data_base() + pool_->data_size()) {
+    return OutOfRange("free outside data window");
+  }
+  Runtime& rt = pool_->rt();
+  rt.stats().SetCategory(t, CcCategory::kAllocation);
+  const std::uint64_t offset = addr - pool_->data_base();
+  const std::uint64_t chunk = offset / kPmPageSize;
+  ChunkHeader h = LoadHeader(t, chunk);
+  if (h.magic != kChunkMagic || h.class_size != ClassSize(cls)) {
+    return InvalidArgument("free size does not match chunk class");
+  }
+  const std::uint64_t bit = (offset % kPmPageSize) / h.class_size;
+  if ((h.bitmap & (1ULL << bit)) == 0) {
+    return FailedPrecondition("double free");
+  }
+  const std::uint64_t blocks = kPmPageSize / h.class_size;
+  const std::uint64_t mask = blocks == 64 ? ~0ULL : ((1ULL << blocks) - 1);
+  const bool was_full = (h.bitmap & mask) == mask;
+  h.bitmap &= ~(1ULL << bit);
+  StoreHeader(t, chunk, h);
+  if (was_full) {
+    free_chunks_[cls].push_back(chunk);
+  }
+  --allocated_;
+  return Status::Ok();
+}
+
+}  // namespace nearpm

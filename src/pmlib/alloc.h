@@ -1,0 +1,73 @@
+// Persistent size-class block allocator.
+//
+// The data window is divided into 4 kB chunks. Each chunk is assigned to one
+// size class (64 B .. 4096 B, powers of two) on first use and carries a
+// persistent header (one cacheline in the pool's chunk-header array): magic,
+// class size, and an occupancy bitmap. Blocks never cross a page boundary,
+// which the shadow-paging provider relies on for per-page translation.
+//
+// Crash discipline: a bitmap update is persisted before the block is handed
+// out (allocation) and the caller defers frees to the mechanism's durable
+// point (see PersistentHeap). A crash can therefore leak blocks whose
+// transaction never committed -- the same policy PMDK implements with
+// redo-logged allocator metadata; leaks are reclaimable by an offline scan
+// and are bounded by one transaction's allocations.
+#ifndef SRC_PMLIB_ALLOC_H_
+#define SRC_PMLIB_ALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/pmlib/pool.h"
+
+namespace nearpm {
+
+inline constexpr std::uint64_t kChunkMagic = 0x4e50414c4c4f4331ULL;
+inline constexpr std::uint64_t kMinBlock = 64;
+inline constexpr std::uint64_t kMaxBlock = kPmPageSize;
+inline constexpr int kNumClasses = 7;  // 64,128,256,512,1024,2048,4096
+
+struct alignas(64) ChunkHeader {
+  std::uint64_t magic = 0;       // kChunkMagic once assigned
+  std::uint64_t class_size = 0;  // block size in bytes
+  std::uint64_t bitmap = 0;      // bit i set = block i allocated
+  std::uint8_t pad[40] = {};
+};
+static_assert(sizeof(ChunkHeader) == 64);
+
+class PmAllocator {
+ public:
+  explicit PmAllocator(const PmPool* pool);
+
+  // Zeroes all chunk headers (fresh pool).
+  void Format(ThreadId t);
+  // Rebuilds the volatile free index from the persistent headers (recovery).
+  void RebuildVolatile();
+
+  // Returns a block address inside the data window. Charged to the
+  // allocation category of the crash-consistency accounting.
+  StatusOr<PmAddr> Alloc(ThreadId t, std::uint64_t size);
+  Status Free(ThreadId t, PmAddr addr, std::uint64_t size);
+
+  std::uint64_t allocated_blocks() const { return allocated_; }
+  static int ClassIndex(std::uint64_t size);
+  static std::uint64_t ClassSize(int index) { return kMinBlock << index; }
+
+ private:
+  PmAddr HeaderAddr(std::uint64_t chunk) const;
+  ChunkHeader LoadHeader(ThreadId t, std::uint64_t chunk) const;
+  void StoreHeader(ThreadId t, std::uint64_t chunk, const ChunkHeader& h);
+
+  const PmPool* pool_;
+  // Volatile index: chunks with free blocks, per class; plus the next
+  // never-assigned chunk.
+  std::vector<std::vector<std::uint64_t>> free_chunks_;
+  std::uint64_t next_fresh_chunk_ = 0;
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_PMLIB_ALLOC_H_

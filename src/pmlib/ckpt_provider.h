@@ -1,0 +1,67 @@
+// Checkpointing provider (Figure 2b, Figure 14 e/f).
+//
+// Page-granularity, epoch-batched: the first time a page is written within
+// an epoch, its pre-image is copied into a checkpoint slot
+// (NearPM_ckpoint_create). Every `epoch_ops` operations the epoch closes:
+// all pages touched during the epoch are persisted, the committed-epoch
+// counter advances, and the slots are invalidated. A failure inside an epoch
+// rolls the touched pages back to the epoch start -- operations are atomic
+// at epoch granularity, the durability model inherent to checkpointing.
+#ifndef SRC_PMLIB_CKPT_PROVIDER_H_
+#define SRC_PMLIB_CKPT_PROVIDER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/pmlib/pool.h"
+#include "src/pmlib/provider.h"
+
+namespace nearpm {
+
+class CheckpointProvider : public ConsistencyProvider {
+ public:
+  // `epoch_ops`: operations per epoch (the checkpoint interval).
+  CheckpointProvider(const PmPool* pool, int epoch_ops = 4);
+
+  Mechanism mechanism() const override { return Mechanism::kCheckpointing; }
+  Status BeginOp(ThreadId t) override;
+  StatusOr<PmAddr> PrepareStore(ThreadId t, PmAddr addr,
+                                std::uint64_t size) override;
+  StatusOr<PmAddr> TranslateLoad(ThreadId t, PmAddr addr,
+                                 std::uint64_t size) override;
+  StatusOr<bool> CommitOp(ThreadId t,
+                          std::span<const AddrRange> dirty) override;
+  Status Recover() override;
+  void DropVolatile() override;
+
+  std::uint64_t epochs_closed() const { return epochs_closed_; }
+  std::uint64_t pages_restored() const { return pages_restored_; }
+
+ private:
+  struct ThreadState {
+    bool active = false;
+    std::uint64_t epoch = 1;  // current (uncommitted) epoch
+    int ops_in_epoch = 0;
+    std::size_t used_slots = 0;
+    std::unordered_set<std::uint64_t> pages_this_epoch;  // page indices
+    // Completion of the newest snapshot copy: the operation confirms its
+    // pre-images before it returns (snapshots of one operation still overlap
+    // each other and the CPU's work).
+    std::uint64_t snapshot_done = 0;
+  };
+
+  Status CloseEpoch(ThreadId t);
+  Status RecoverThread(ThreadId t);
+  std::uint64_t PageOf(PmAddr addr) const;
+
+  const PmPool* pool_;
+  int epoch_ops_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t epochs_closed_ = 0;
+  std::uint64_t pages_restored_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_PMLIB_CKPT_PROVIDER_H_

@@ -1,0 +1,142 @@
+#include "src/pmlib/heap.h"
+
+#include "src/core/cc_stats.h"
+
+namespace nearpm {
+
+PersistentHeap::PersistentHeap(PmPool pool, const HeapOptions& options)
+    : pool_(pool),
+      options_(options),
+      alloc_(&pool_),
+      threads_(static_cast<size_t>(options.threads)) {
+  switch (options.mechanism) {
+    case Mechanism::kLogging:
+      provider_ = std::make_unique<UndoLogProvider>(&pool_);
+      break;
+    case Mechanism::kRedoLogging:
+      provider_ = std::make_unique<RedoLogProvider>(&pool_);
+      break;
+    case Mechanism::kCheckpointing:
+      provider_ =
+          std::make_unique<CheckpointProvider>(&pool_, options.ckpt_epoch_ops);
+      break;
+    case Mechanism::kShadowPaging:
+      provider_ = std::make_unique<ShadowPagingProvider>(&pool_);
+      break;
+  }
+}
+
+StatusOr<std::unique_ptr<PersistentHeap>> PersistentHeap::Create(
+    Runtime& rt, PoolArena& arena, const HeapOptions& options) {
+  PoolLayoutOptions layout;
+  layout.data_size = options.data_size;
+  layout.threads = options.threads;
+  layout.shadow_physical_area = options.mechanism == Mechanism::kShadowPaging;
+  const PmAddr base = arena.Take(PmPool::Footprint(layout));
+  auto pool = PmPool::Create(rt, base, layout);
+  if (!pool.ok()) {
+    return pool.status();
+  }
+  auto heap =
+      std::unique_ptr<PersistentHeap>(new PersistentHeap(*pool, options));
+  heap->alloc_.Format(0);
+  if (options.mechanism == Mechanism::kShadowPaging) {
+    NEARPM_RETURN_IF_ERROR(
+        static_cast<ShadowPagingProvider*>(heap->provider_.get())->Format(0));
+  }
+  return heap;
+}
+
+Status PersistentHeap::BeginOp(ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (ts.in_op) {
+    return FailedPrecondition("operation already open");
+  }
+  NEARPM_RETURN_IF_ERROR(provider_->BeginOp(t));
+  ts.in_op = true;
+  ts.dirty.clear();
+  return Status::Ok();
+}
+
+Status PersistentHeap::CommitOp(ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (!ts.in_op) {
+    return FailedPrecondition("no open operation");
+  }
+  auto durable = provider_->CommitOp(t, ts.dirty);
+  if (!durable.ok()) {
+    return durable.status();
+  }
+  ts.in_op = false;
+  ts.dirty.clear();
+  if (*durable && !ts.deferred_frees.empty()) {
+    Runtime::CcRegion cc(pool_.rt(), t);
+    for (const auto& [addr, size] : ts.deferred_frees) {
+      NEARPM_RETURN_IF_ERROR(alloc_.Free(t, addr, size));
+    }
+    ts.deferred_frees.clear();
+  }
+  return Status::Ok();
+}
+
+Status PersistentHeap::Write(ThreadId t, PmAddr addr,
+                             std::span<const std::uint8_t> data) {
+  ThreadState& ts = threads_[t];
+  Runtime& rt = pool_.rt();
+  PmAddr target = addr;
+  if (ts.in_op) {
+    auto prepared = provider_->PrepareStore(t, addr, data.size());
+    if (!prepared.ok()) {
+      return prepared.status();
+    }
+    target = *prepared;
+    ts.dirty.push_back(AddrRange{target, target + data.size()});
+  }
+  rt.Write(t, target, data);
+  return Status::Ok();
+}
+
+Status PersistentHeap::Read(ThreadId t, PmAddr addr,
+                            std::span<std::uint8_t> out) {
+  auto translated = provider_->TranslateLoad(t, addr, out.size());
+  if (!translated.ok()) {
+    return translated.status();
+  }
+  pool_.rt().Read(t, *translated, out);
+  return Status::Ok();
+}
+
+StatusOr<PmAddr> PersistentHeap::Alloc(ThreadId t, std::uint64_t size) {
+  Runtime::CcRegion cc(pool_.rt(), t);
+  return alloc_.Alloc(t, size);
+}
+
+Status PersistentHeap::Free(ThreadId t, PmAddr addr, std::uint64_t size) {
+  ThreadState& ts = threads_[t];
+  if (!ts.in_op) {
+    Runtime::CcRegion cc(pool_.rt(), t);
+    return alloc_.Free(t, addr, size);
+  }
+  // Deferred: reusing the block before the operation's durable point would
+  // let a rollback resurrect a dangling reference into reused memory.
+  ts.deferred_frees.emplace_back(addr, size);
+  return Status::Ok();
+}
+
+void PersistentHeap::DropVolatile() {
+  for (ThreadState& ts : threads_) {
+    ts = ThreadState{};
+  }
+  provider_->DropVolatile();
+}
+
+Status PersistentHeap::Recover() {
+  NEARPM_RETURN_IF_ERROR(provider_->Recover());
+  alloc_.RebuildVolatile();
+  for (ThreadState& ts : threads_) {
+    ts = ThreadState{};
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,119 @@
+// PersistentHeap: the application-facing facade of pmlib.
+//
+// Combines a pool, the persistent allocator and one crash-consistency
+// provider behind a typed load/store interface. Workloads express failure-
+// atomic operations as
+//
+//   heap.BeginOp(t);
+//   auto node = heap.Alloc(t, sizeof(Node));
+//   heap.Store(t, parent + offsetof(Node, next), *node);
+//   heap.CommitOp(t);
+//
+// and every store is automatically routed through the provider's
+// PrepareStore (undo snapshot / checkpoint / shadow copy / redo redirect).
+#ifndef SRC_PMLIB_HEAP_H_
+#define SRC_PMLIB_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/pmlib/alloc.h"
+#include "src/pmlib/ckpt_provider.h"
+#include "src/pmlib/pool.h"
+#include "src/pmlib/provider.h"
+#include "src/pmlib/redo_provider.h"
+#include "src/pmlib/shadow_provider.h"
+#include "src/pmlib/undo_provider.h"
+
+namespace nearpm {
+
+struct HeapOptions {
+  Mechanism mechanism = Mechanism::kLogging;
+  std::uint64_t data_size = 4ull << 20;
+  int threads = 1;
+  int ckpt_epoch_ops = 8;  // checkpointing interval (ops per epoch)
+};
+
+// Hands out page-aligned pool placements within the PM space.
+class PoolArena {
+ public:
+  explicit PoolArena(PmAddr base = 0) : next_(AlignUp(base, kPmPageSize)) {}
+  PmAddr Take(std::uint64_t bytes) {
+    const PmAddr at = next_;
+    next_ = AlignUp(next_ + bytes, kPmPageSize);
+    return at;
+  }
+  PmAddr next() const { return next_; }
+
+ private:
+  PmAddr next_;
+};
+
+class PersistentHeap {
+ public:
+  static StatusOr<std::unique_ptr<PersistentHeap>> Create(
+      Runtime& rt, PoolArena& arena, const HeapOptions& options);
+
+  Runtime& rt() const { return pool_.rt(); }
+  const PmPool& pool() const { return pool_; }
+  Mechanism mechanism() const { return provider_->mechanism(); }
+  ConsistencyProvider& provider() { return *provider_; }
+  PmAllocator& allocator() { return alloc_; }
+
+  // Fixed root page of the data window (vpage 0): workloads keep their
+  // entry-point struct here.
+  PmAddr root() const { return pool_.data_base(); }
+
+  // ---- Failure-atomic operations -------------------------------------------
+  Status BeginOp(ThreadId t);
+  Status CommitOp(ThreadId t);
+
+  // ---- Data access (data-window addresses) ----------------------------------
+  Status Write(ThreadId t, PmAddr addr, std::span<const std::uint8_t> data);
+  Status Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out);
+
+  template <typename T>
+  StatusOr<T> Load(ThreadId t, PmAddr addr) {
+    T value{};
+    NEARPM_RETURN_IF_ERROR(
+        Read(t, addr, {reinterpret_cast<std::uint8_t*>(&value), sizeof(T)}));
+    return value;
+  }
+  template <typename T>
+  Status Store(ThreadId t, PmAddr addr, const T& value) {
+    return Write(t, addr, AsBytes(value));
+  }
+
+  // ---- Allocation (inside an operation) -------------------------------------
+  StatusOr<PmAddr> Alloc(ThreadId t, std::uint64_t size);
+  // Deferred until the mechanism's next durable point.
+  Status Free(ThreadId t, PmAddr addr, std::uint64_t size);
+
+  // ---- Recovery --------------------------------------------------------------
+  // Simulates process death: volatile state is dropped (PM state untouched).
+  void DropVolatile();
+  // Software recovery after Runtime::InjectCrash: mechanism recovery, then
+  // allocator/page-table rebuild.
+  Status Recover();
+
+ private:
+  PersistentHeap(PmPool pool, const HeapOptions& options);
+
+  struct ThreadState {
+    bool in_op = false;
+    std::vector<AddrRange> dirty;                       // translated ranges
+    std::vector<std::pair<PmAddr, std::uint64_t>> deferred_frees;
+  };
+
+  PmPool pool_;
+  HeapOptions options_;
+  PmAllocator alloc_;
+  std::unique_ptr<ConsistencyProvider> provider_;
+  std::vector<ThreadState> threads_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_PMLIB_HEAP_H_

@@ -1,0 +1,63 @@
+#include "src/pmlib/pool.h"
+
+namespace nearpm {
+namespace {
+
+std::uint64_t ChunkHeaderBytes(const PoolLayoutOptions& opts) {
+  return AlignUp((opts.data_size / kPmPageSize) * 64, kPmPageSize);
+}
+
+std::uint64_t PageTableBytes(const PoolLayoutOptions& opts) {
+  return AlignUp((opts.data_size / kPmPageSize) * 8, kPmPageSize);
+}
+
+}  // namespace
+
+std::uint64_t PmPool::Footprint(const PoolLayoutOptions& opts) {
+  std::uint64_t bytes = kPmPageSize;  // pool header
+  bytes += ChunkHeaderBytes(opts);
+  bytes += PageTableBytes(opts);
+  bytes += opts.data_size;  // data window
+  if (opts.shadow_physical_area) {
+    bytes += 2 * opts.data_size;  // physical pages
+  }
+  bytes += static_cast<std::uint64_t>(opts.threads) * CcArea::kSize;
+  return AlignUp(bytes, kPmPageSize);
+}
+
+StatusOr<PmPool> PmPool::Create(Runtime& rt, PmAddr base,
+                                const PoolLayoutOptions& opts) {
+  if (opts.data_size == 0 || opts.data_size % kPmPageSize != 0) {
+    return InvalidArgument("data_size must be a nonzero multiple of 4 kB");
+  }
+  if (base % kPmPageSize != 0) {
+    return InvalidArgument("pool base must be page aligned");
+  }
+  if (opts.threads < 1 || opts.threads > rt.options().max_threads) {
+    return InvalidArgument("thread count out of range");
+  }
+  auto id = rt.RegisterPool(base, Footprint(opts));
+  if (!id.ok()) {
+    return id.status();
+  }
+  return PmPool(&rt, base, *id, opts);
+}
+
+PmAddr PmPool::data_base() const {
+  return base_ + kPmPageSize + ChunkHeaderBytes(opts_) + PageTableBytes(opts_);
+}
+
+PmAddr PmPool::phys_base() const { return data_base() + opts_.data_size; }
+
+PmAddr PmPool::page_table() const {
+  return base_ + kPmPageSize + ChunkHeaderBytes(opts_);
+}
+
+CcArea PmPool::cc_area(ThreadId t) const {
+  const PmAddr cc_base = opts_.shadow_physical_area
+                             ? phys_base() + 2 * opts_.data_size
+                             : data_base() + opts_.data_size;
+  return CcArea(cc_base + static_cast<std::uint64_t>(t) * CcArea::kSize);
+}
+
+}  // namespace nearpm

@@ -1,0 +1,186 @@
+#include "src/pmlib/redo_provider.h"
+
+#include "src/core/cc_stats.h"
+
+namespace nearpm {
+
+RedoLogProvider::RedoLogProvider(const PmPool* pool)
+    : pool_(pool),
+      threads_(static_cast<size_t>(pool->layout().threads)) {}
+
+Status RedoLogProvider::BeginOp(ThreadId t) {
+  ThreadState& ts = threads_[t];
+  if (ts.active) {
+    return FailedPrecondition("operation already open on this thread");
+  }
+  Runtime& rt = pool_->rt();
+  Runtime::CcRegion cc(rt, t);
+  rt.stats().SetCategory(t, CcCategory::kMetadata);
+  ts.active = true;
+  ts.tx_id = rt.NextTxId();
+  ts.redirects.clear();
+
+  TxRecord rec;
+  rec.state = static_cast<std::uint64_t>(TxState::kActive);
+  rec.tx_id = ts.tx_id;
+  const PmAddr rec_addr = pool_->cc_area(t).TxRecordAddr();
+  rt.Store(t, rec_addr, rec);
+  rt.Persist(t, rec_addr, sizeof(rec));
+  return Status::Ok();
+}
+
+StatusOr<PmAddr> RedoLogProvider::PrepareStore(ThreadId t, PmAddr addr,
+                                               std::uint64_t size) {
+  ThreadState& ts = threads_[t];
+  if (!ts.active) {
+    return FailedPrecondition("PrepareStore outside an operation");
+  }
+  const AddrRange range{addr, addr + size};
+  // Same range already redirected: overwrite the slot payload in place.
+  for (const Redirect& r : ts.redirects) {
+    if (r.target == range) {
+      return CcArea::SlotData(r.slot);
+    }
+  }
+  if (ts.redirects.size() >= kLogSlots) {
+    return ResourceExhausted("redo log slots exhausted in one operation");
+  }
+  if (size > kMaxLogData) {
+    return InvalidArgument("redo entry larger than a log slot");
+  }
+  const PmAddr slot = pool_->cc_area(t).RedoSlotAddr(ts.redirects.size());
+  ts.redirects.push_back(Redirect{range, slot});
+  return CcArea::SlotData(slot);
+}
+
+StatusOr<PmAddr> RedoLogProvider::TranslateLoad(ThreadId t, PmAddr addr,
+                                                std::uint64_t size) {
+  const ThreadState& ts = threads_[t];
+  if (!ts.active) {
+    return addr;
+  }
+  const AddrRange range{addr, addr + size};
+  // Newest redirect wins (ranges equal-or-disjoint in practice).
+  for (auto it = ts.redirects.rbegin(); it != ts.redirects.rend(); ++it) {
+    if (it->target.begin <= range.begin && range.end <= it->target.end) {
+      return CcArea::SlotData(it->slot) + (range.begin - it->target.begin);
+    }
+    if (it->target.Overlaps(range)) {
+      return FailedPrecondition(
+          "load partially overlaps an uncommitted redo entry");
+    }
+  }
+  return addr;
+}
+
+StatusOr<bool> RedoLogProvider::CommitOp(ThreadId t,
+                                         std::span<const AddrRange> dirty) {
+  (void)dirty;  // the slots are persisted below; targets update near memory
+  ThreadState& ts = threads_[t];
+  if (!ts.active) {
+    return FailedPrecondition("CommitOp outside an operation");
+  }
+  Runtime& rt = pool_->rt();
+  Runtime::CcRegion cc(rt, t);
+
+  // 1. Seal each redo entry: header (target, size, checksum) after payload.
+  rt.stats().SetCategory(t, CcCategory::kMetadata);
+  std::vector<std::uint8_t> payload;
+  for (const Redirect& r : ts.redirects) {
+    payload.resize(r.target.size());
+    rt.Read(t, CcArea::SlotData(r.slot), payload);
+    SlotHeader header;
+    header.magic = kRedoMagic;
+    header.tag = ts.tx_id;
+    header.target = r.target.begin;
+    header.size = r.target.size();
+    header.checksum = Checksum64(payload);
+    rt.Store(t, r.slot, header);
+    rt.Persist(t, r.slot, kSlotHeaderSize + header.size);
+  }
+  // 2. Commit marker.
+  const PmAddr rec_addr = pool_->cc_area(t).TxRecordAddr();
+  TxRecord rec;
+  rec.state = static_cast<std::uint64_t>(TxState::kCommitted);
+  rec.tx_id = ts.tx_id;
+  rt.Store(t, rec_addr, rec);
+  rt.Persist(t, rec_addr, sizeof(rec));
+  // 3. Apply the log near memory.
+  rt.stats().SetCategory(t, CcCategory::kDataMovement);
+  for (const Redirect& r : ts.redirects) {
+    NEARPM_RETURN_IF_ERROR(
+        rt.ApplyLog(pool_->id(), t, r.slot, r.target.size(), r.target.begin));
+  }
+  // 4. Confirm the applies before deleting the log: an invalidated slot must
+  //    imply an applied target, and apply/delete touch different slot lines,
+  //    so ordering cannot come from address conflicts alone.
+  rt.stats().SetCategory(t, CcCategory::kOrdering);
+  rt.DrainDevices(t);
+  // 5. Delete the log and return to IDLE.
+  rt.stats().SetCategory(t, CcCategory::kMetadata);
+  std::vector<PmAddr> slots;
+  slots.reserve(ts.redirects.size());
+  for (const Redirect& r : ts.redirects) {
+    slots.push_back(r.slot);
+  }
+  if (!slots.empty()) {
+    NEARPM_RETURN_IF_ERROR(rt.CommitLog(pool_->id(), t, slots));
+  }
+  // COMMITTED persists until the next BeginOp; re-applying a committed log
+  // at recovery is idempotent.
+  ts.active = false;
+  return true;
+}
+
+Status RedoLogProvider::RecoverThread(ThreadId t) {
+  Runtime& rt = pool_->rt();
+  const CcArea area = pool_->cc_area(t);
+  const TxRecord rec = rt.Load<TxRecord>(t, area.TxRecordAddr());
+  const bool reapply =
+      rec.state == static_cast<std::uint64_t>(TxState::kCommitted);
+
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < kLogSlots; ++i) {
+    const PmAddr slot = area.RedoSlotAddr(i);
+    const SlotHeader header = rt.Load<SlotHeader>(t, slot);
+    if (header.magic != kRedoMagic) {
+      continue;
+    }
+    bool valid = header.size > 0 && header.size <= kMaxLogData;
+    if (valid) {
+      payload.resize(header.size);
+      rt.Read(t, CcArea::SlotData(slot), payload);
+      valid = Checksum64(payload) == header.checksum;
+    }
+    if (reapply && valid && header.tag == rec.tx_id) {
+      rt.Write(t, header.target, payload);
+      rt.Persist(t, header.target, header.size);
+      ++reapplied_;
+    }
+    const SlotHeader zero;
+    rt.Store(t, slot, zero);
+    rt.Persist(t, slot, sizeof(zero));
+  }
+
+  TxRecord idle;
+  idle.state = static_cast<std::uint64_t>(TxState::kIdle);
+  rt.Store(t, area.TxRecordAddr(), idle);
+  rt.Persist(t, area.TxRecordAddr(), sizeof(idle));
+  return Status::Ok();
+}
+
+Status RedoLogProvider::Recover() {
+  for (ThreadId t = 0; t < threads_.size(); ++t) {
+    NEARPM_RETURN_IF_ERROR(RecoverThread(t));
+    threads_[t] = ThreadState{};
+  }
+  return Status::Ok();
+}
+
+void RedoLogProvider::DropVolatile() {
+  for (ThreadState& ts : threads_) {
+    ts = ThreadState{};
+  }
+}
+
+}  // namespace nearpm

@@ -1,0 +1,58 @@
+// Redo-logging provider (Figure 14 c/d).
+//
+// Stores inside an operation are redirected into redo slots (intention
+// records written by the CPU, as in PMDK); loads see the thread's own
+// uncommitted writes through the redirect map. Commit persists the log,
+// marks the transaction COMMITTED, and then applies every slot to its target
+// near memory (NearPM_applylog) -- the data-movement half redo logging
+// offloads. Recovery re-applies the log of a COMMITTED transaction
+// (idempotent) and discards the log of an ACTIVE one.
+#ifndef SRC_PMLIB_REDO_PROVIDER_H_
+#define SRC_PMLIB_REDO_PROVIDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmlib/pool.h"
+#include "src/pmlib/provider.h"
+
+namespace nearpm {
+
+class RedoLogProvider : public ConsistencyProvider {
+ public:
+  explicit RedoLogProvider(const PmPool* pool);
+
+  Mechanism mechanism() const override { return Mechanism::kRedoLogging; }
+  Status BeginOp(ThreadId t) override;
+  StatusOr<PmAddr> PrepareStore(ThreadId t, PmAddr addr,
+                                std::uint64_t size) override;
+  StatusOr<PmAddr> TranslateLoad(ThreadId t, PmAddr addr,
+                                 std::uint64_t size) override;
+  StatusOr<bool> CommitOp(ThreadId t,
+                          std::span<const AddrRange> dirty) override;
+  Status Recover() override;
+  void DropVolatile() override;
+
+  std::uint64_t reapplied() const { return reapplied_; }
+
+ private:
+  struct Redirect {
+    AddrRange target;  // data-window range the slot will apply to
+    PmAddr slot = 0;
+  };
+  struct ThreadState {
+    bool active = false;
+    std::uint64_t tx_id = 0;
+    std::vector<Redirect> redirects;
+  };
+
+  Status RecoverThread(ThreadId t);
+
+  const PmPool* pool_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t reapplied_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_PMLIB_REDO_PROVIDER_H_

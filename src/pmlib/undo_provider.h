@@ -1,0 +1,57 @@
+// Undo-logging provider (PMDK-transaction style, Figure 14 a/b).
+//
+// Per operation: mark the thread's TxRecord ACTIVE, snapshot every
+// to-be-written range into an undo slot (NearPM_undolog_create), update in
+// place, persist the updates, mark COMMITTED, then delete the logs
+// (NearPM_commit_log -- ordered behind a cross-device sync in multi-device
+// delayed mode) and return to IDLE.
+//
+// Recovery: ACTIVE -> roll back valid slots of the interrupted transaction in
+// reverse order; COMMITTED/IDLE -> the updates stand, stale slots are
+// scrubbed.
+#ifndef SRC_PMLIB_UNDO_PROVIDER_H_
+#define SRC_PMLIB_UNDO_PROVIDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmlib/pool.h"
+#include "src/pmlib/provider.h"
+
+namespace nearpm {
+
+class UndoLogProvider : public ConsistencyProvider {
+ public:
+  explicit UndoLogProvider(const PmPool* pool);
+
+  Mechanism mechanism() const override { return Mechanism::kLogging; }
+  Status BeginOp(ThreadId t) override;
+  StatusOr<PmAddr> PrepareStore(ThreadId t, PmAddr addr,
+                                std::uint64_t size) override;
+  StatusOr<PmAddr> TranslateLoad(ThreadId t, PmAddr addr,
+                                 std::uint64_t size) override;
+  StatusOr<bool> CommitOp(ThreadId t,
+                          std::span<const AddrRange> dirty) override;
+  Status Recover() override;
+  void DropVolatile() override;
+
+  std::uint64_t rollbacks() const { return rollbacks_; }
+
+ private:
+  struct ThreadState {
+    bool active = false;
+    std::uint64_t tx_id = 0;
+    std::size_t used_slots = 0;
+    std::vector<AddrRange> logged;  // ranges already snapshotted this tx
+  };
+
+  Status RecoverThread(ThreadId t);
+
+  const PmPool* pool_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t rollbacks_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_PMLIB_UNDO_PROVIDER_H_

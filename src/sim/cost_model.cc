@@ -1,0 +1,11 @@
+#include "src/sim/cost_model.h"
+
+// CostModel is a plain aggregate; this translation unit exists so the library
+// has a home for future non-inline cost functions and keeps a stable archive
+// member for the target.
+
+namespace nearpm {
+
+static_assert(sizeof(CostModel) > 0);
+
+}  // namespace nearpm

@@ -1,0 +1,109 @@
+// Latency / bandwidth constants of the simulated platform.
+//
+// The paper prototypes NearPM on a Xilinx VCU118 over PCIe 3.0 x8 (8 GB/s),
+// with on-board DRAM emulating PM at 436 ns access latency and four NearPM
+// units per device behind a 4 GB/s internal AXI bus (Section 7, Table 3).
+// We reproduce performance *shapes* from a first-order analytical model over
+// these constants. Defaults are calibrated so that the Figure 17 copy
+// micro-benchmark endpoints fall out: ~1.1x speedup at 64 B and ~5.6x at
+// 16 kB.
+#ifndef SRC_SIM_COST_MODEL_H_
+#define SRC_SIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace nearpm {
+
+// Virtual time in nanoseconds.
+using SimTime = std::uint64_t;
+
+struct CostModel {
+  // ---- CPU-side PM costs (storage-class memory behind the cache hierarchy).
+  // First access of a CPU copy: demand miss to PM (436 ns measured on the
+  // FPGA-emulated PM, comparable to Optane), plus the trailing sfence.
+  double cpu_copy_base_ns = 600.0;
+  // Amortized read + write + clwb per 64 B line of a CPU persist-copy, with
+  // the limited memory-level parallelism of one core (~0.65 GB/s effective).
+  double cpu_copy_per_line_ns = 99.2;
+  // clwb issue (asynchronous writeback initiation) of one dirty line.
+  double cpu_flush_line_ns = 6.0;
+  // sfence: drain the outstanding writebacks (latency of the slowest line,
+  // overlapped across lines, paid once per persist).
+  double cpu_drain_ns = 150.0;
+  // bare sfence with nothing outstanding.
+  double cpu_fence_ns = 30.0;
+  // Random cached read / uncached PM read from the CPU.
+  double cpu_cached_read_ns = 4.0;
+  double cpu_pm_read_ns = 436.0;
+  // Store into the cache hierarchy per 64 B line (cost paid again at persist).
+  double cpu_store_line_ns = 2.0;
+  // CPU-side generation of one log/checkpoint metadata record
+  // (object id, offset, size, checksum, valid bit) plus its persist.
+  double cpu_metadata_ns = 180.0;
+  // CPU-side log invalidation/deletion per log entry (write + persist).
+  double cpu_log_delete_ns = 140.0;
+  // Persistent allocator bookkeeping per allocation (bitmap search + persist).
+  double cpu_alloc_ns = 220.0;
+  // Page-table entry switch in shadow paging (8 B write + persist).
+  double cpu_page_switch_ns = 120.0;
+
+  // ---- Command path (host -> NearPM device).
+  // CPU-visible cost to post one command (MMIO store to the memory-mapped
+  // command path; write-combining, non-blocking).
+  double cmd_post_ns = 100.0;
+  // Device-side latency from posting until a NearPM unit can start: PCIe
+  // traversal + Request FIFO + Dispatcher decode + address translation +
+  // conflict check (Figure 8 steps 1a-5a).
+  double cmd_device_pipeline_ns = 450.0;
+  // One CPU polling round on a completion status word over PCIe (used by the
+  // software multi-device synchronization baseline, "NearPM MD SW-sync").
+  double cpu_poll_round_ns = 300.0;
+
+  // ---- NearPM unit execution.
+  // Fixed per-request setup in a unit (request register load, control
+  // signals, DMA programming).
+  double ndp_setup_ns = 30.0;
+  // DMA engine copy throughput over the internal AXI bus (4 GB/s).
+  double ndp_dma_ns_per_byte = 0.25;
+  // Load/store unit: fine-grained (sub-line) data movement per 64 B.
+  double ndp_ls_per_line_ns = 16.0;
+  // Metadata generator: produce and persist one log/checkpoint record.
+  double ndp_metadata_ns = 40.0;
+  // Log deletion / commit-mark per log entry, near memory.
+  double ndp_log_delete_ns = 30.0;
+  // Device-to-device status-bit propagation (Multi-device handler, Fig. 11).
+  double ndp_remote_status_ns = 500.0;
+
+  // ---- Derived helpers -----------------------------------------------------
+
+  static std::uint64_t Lines(std::size_t bytes) {
+    return (bytes + kCacheLineSize - 1) / kCacheLineSize;
+  }
+
+  // CPU cost to copy `bytes` of persistent data and persist the destination
+  // (the data-movement half of a CPU-side crash-consistency operation).
+  double CpuCopyNs(std::size_t bytes) const {
+    return cpu_copy_base_ns +
+           static_cast<double>(Lines(bytes)) * cpu_copy_per_line_ns;
+  }
+
+  // Time a NearPM unit is busy executing a copy of `bytes` (DMA for bulk,
+  // load/store unit overhead folded into setup for small transfers).
+  double NdpCopyNs(std::size_t bytes) const {
+    return ndp_setup_ns + static_cast<double>(bytes) * ndp_dma_ns_per_byte;
+  }
+
+  // CPU cost to persist a range it has written: issue one clwb per line,
+  // then one drain (the writebacks proceed in parallel).
+  double CpuPersistNs(std::size_t bytes) const {
+    return static_cast<double>(Lines(bytes)) * cpu_flush_line_ns +
+           cpu_drain_ns;
+  }
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,11 @@
+#include "src/sim/timeline.h"
+
+namespace nearpm {
+
+void UnitPool::Reset() {
+  for (Timeline& u : units_) {
+    u.Reset();
+  }
+}
+
+}  // namespace nearpm

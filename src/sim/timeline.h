@@ -1,0 +1,78 @@
+// Virtual-time resource timelines.
+//
+// Every contended resource in the simulated platform (a NearPM execution
+// unit, the device command pipeline, a CPU hardware thread) is a Timeline: a
+// cursor recording when the resource next becomes free. Scheduling work on a
+// timeline models queueing delay without a full discrete-event simulator --
+// sufficient because all NearPM interactions are request/response shaped.
+#ifndef SRC_SIM_TIMELINE_H_
+#define SRC_SIM_TIMELINE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+
+namespace nearpm {
+
+inline SimTime NsToTime(double ns) {
+  return static_cast<SimTime>(std::llround(ns));
+}
+
+class Timeline {
+ public:
+  // Schedules `duration_ns` of work starting no earlier than `earliest`.
+  // Returns the completion time and advances the resource cursor.
+  SimTime Schedule(SimTime earliest, double duration_ns) {
+    const SimTime start = std::max(free_at_, earliest);
+    free_at_ = start + NsToTime(duration_ns);
+    return free_at_;
+  }
+
+  // When the resource next becomes free (lower bound for new work).
+  SimTime free_at() const { return free_at_; }
+
+  void Reset(SimTime t = 0) { free_at_ = t; }
+
+ private:
+  SimTime free_at_ = 0;
+};
+
+// A pool of identical units (e.g., the four NearPM units of one device).
+// Work is assigned to the unit that can start it earliest, mirroring the
+// Dispatcher's "issue a request as soon as one unit is available" policy.
+class UnitPool {
+ public:
+  explicit UnitPool(int num_units) : units_(static_cast<size_t>(num_units)) {}
+
+  SimTime Schedule(SimTime earliest, double duration_ns) {
+    Timeline* best = &units_.front();
+    for (Timeline& u : units_) {
+      if (u.free_at() < best->free_at()) {
+        best = &u;
+      }
+    }
+    return best->Schedule(earliest, duration_ns);
+  }
+
+  // Completion time of all work scheduled so far.
+  SimTime AllIdleAt() const {
+    SimTime t = 0;
+    for (const Timeline& u : units_) {
+      t = std::max(t, u.free_at());
+    }
+    return t;
+  }
+
+  int size() const { return static_cast<int>(units_.size()); }
+  void Reset();
+
+ private:
+  std::vector<Timeline> units_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_SIM_TIMELINE_H_

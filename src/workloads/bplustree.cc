@@ -1,0 +1,298 @@
+#include "src/workloads/bplustree.h"
+
+#include <cstring>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kBpMagic = 0x42504c5553ULL;
+constexpr double kLevelComputeNs = 100.0;
+constexpr double kOpComputeNs = 6500.0;  // pmemkv engine overhead
+
+}  // namespace
+
+Status BPlusTreeWorkload::Setup(Runtime& rt, PoolArena& arena,
+                                const WorkloadConfig& config) {
+  config_ = config;
+  key_space_ = config.initial_keys * 2 + 16;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  NEARPM_ASSIGN_OR_RETURN(leaf_addr, h.Alloc(0, sizeof(Leaf)));
+  Leaf leaf;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, leaf_addr, leaf));
+  Root root;
+  root.magic = kBpMagic;
+  root.top = leaf_addr;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    NEARPM_RETURN_IF_ERROR(Put(0, rng.NextBounded(key_space_)));
+  }
+  return Status::Ok();
+}
+
+Status BPlusTreeWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kOpComputeNs);
+  return Put(t, rng.NextBounded(key_space_));
+}
+
+StatusOr<BPlusTreeWorkload::SplitResult> BPlusTreeWorkload::PutRecurse(
+    ThreadId t, PmAddr addr, std::uint64_t level, std::uint64_t key,
+    bool* inserted) {
+  PersistentHeap& h = heap();
+  h.rt().Compute(t, kLevelComputeNs);
+  SplitResult result;
+
+  if (level == 0) {
+    NEARPM_ASSIGN_OR_RETURN(leaf, h.Load<Leaf>(t, addr));
+    int i = 0;
+    while (i < static_cast<int>(leaf.n) && leaf.keys[i] < key) {
+      ++i;
+    }
+    if (i < static_cast<int>(leaf.n) && leaf.keys[i] == key) {
+      leaf.values[i] = ValueForKey(key);
+      NEARPM_RETURN_IF_ERROR(h.Store(t, addr, leaf));
+      *inserted = false;
+      return result;
+    }
+    *inserted = true;
+    if (leaf.n < kLeafKeys) {
+      for (int j = static_cast<int>(leaf.n); j > i; --j) {
+        leaf.keys[j] = leaf.keys[j - 1];
+        leaf.values[j] = leaf.values[j - 1];
+      }
+      leaf.keys[i] = key;
+      leaf.values[i] = ValueForKey(key);
+      leaf.n += 1;
+      NEARPM_RETURN_IF_ERROR(h.Store(t, addr, leaf));
+      return result;
+    }
+    // Split the leaf: left keeps ceil(n/2), right takes the rest.
+    NEARPM_ASSIGN_OR_RETURN(right_addr, h.Alloc(t, sizeof(Leaf)));
+    Leaf right;
+    const int half = (kLeafKeys + 1) / 2;  // 4
+    right.n = kLeafKeys - half;
+    for (int j = 0; j < static_cast<int>(right.n); ++j) {
+      right.keys[j] = leaf.keys[half + j];
+      right.values[j] = leaf.values[half + j];
+    }
+    right.next = leaf.next;
+    leaf.n = half;
+    leaf.next = right_addr;
+    // Insert into whichever side now owns the key.
+    if (key < right.keys[0]) {
+      int j = static_cast<int>(leaf.n);
+      while (j > 0 && leaf.keys[j - 1] > key) {
+        leaf.keys[j] = leaf.keys[j - 1];
+        leaf.values[j] = leaf.values[j - 1];
+        --j;
+      }
+      leaf.keys[j] = key;
+      leaf.values[j] = ValueForKey(key);
+      leaf.n += 1;
+    } else {
+      int j = static_cast<int>(right.n);
+      while (j > 0 && right.keys[j - 1] > key) {
+        right.keys[j] = right.keys[j - 1];
+        right.values[j] = right.values[j - 1];
+        --j;
+      }
+      right.keys[j] = key;
+      right.values[j] = ValueForKey(key);
+      right.n += 1;
+    }
+    NEARPM_RETURN_IF_ERROR(h.Store(t, right_addr, right));
+    NEARPM_RETURN_IF_ERROR(h.Store(t, addr, leaf));
+    result.split = true;
+    result.up_key = right.keys[0];
+    result.right = right_addr;
+    return result;
+  }
+
+  // Inner node.
+  NEARPM_ASSIGN_OR_RETURN(inner, h.Load<Inner>(t, addr));
+  int i = 0;
+  while (i < static_cast<int>(inner.n) && key >= inner.keys[i]) {
+    ++i;
+  }
+  NEARPM_ASSIGN_OR_RETURN(
+      child_split, PutRecurse(t, inner.children[i], level - 1, key, inserted));
+  if (!child_split.split) {
+    return result;
+  }
+  // Insert the separator produced by the child split.
+  if (inner.n < kInnerKeys) {
+    for (int j = static_cast<int>(inner.n); j > i; --j) {
+      inner.keys[j] = inner.keys[j - 1];
+      inner.children[j + 1] = inner.children[j];
+    }
+    inner.keys[i] = child_split.up_key;
+    inner.children[i + 1] = child_split.right;
+    inner.n += 1;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, addr, inner));
+    return result;
+  }
+  // Split this inner node. Work on a widened temporary.
+  std::uint64_t keys[kInnerKeys + 1];
+  PmAddr children[kInnerFanout + 1];
+  for (int j = 0; j < kInnerKeys; ++j) {
+    keys[j] = inner.keys[j];
+  }
+  for (int j = 0; j < kInnerFanout; ++j) {
+    children[j] = inner.children[j];
+  }
+  for (int j = kInnerKeys; j > i; --j) {
+    keys[j] = keys[j - 1];
+  }
+  for (int j = kInnerFanout; j > i + 1; --j) {
+    children[j] = children[j - 1];
+  }
+  keys[i] = child_split.up_key;
+  children[i + 1] = child_split.right;
+
+  const int total_keys = kInnerKeys + 1;       // 16
+  const int left_keys = total_keys / 2;        // 8
+  const std::uint64_t up = keys[left_keys];    // promoted separator
+  NEARPM_ASSIGN_OR_RETURN(right_addr, h.Alloc(t, sizeof(Inner)));
+  Inner right;
+  right.level = inner.level;
+  right.n = total_keys - left_keys - 1;  // 7
+  for (int j = 0; j < static_cast<int>(right.n); ++j) {
+    right.keys[j] = keys[left_keys + 1 + j];
+  }
+  for (int j = 0; j <= static_cast<int>(right.n); ++j) {
+    right.children[j] = children[left_keys + 1 + j];
+  }
+  inner.n = left_keys;
+  for (int j = 0; j < left_keys; ++j) {
+    inner.keys[j] = keys[j];
+  }
+  for (int j = 0; j <= left_keys; ++j) {
+    inner.children[j] = children[j];
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(t, right_addr, right));
+  NEARPM_RETURN_IF_ERROR(h.Store(t, addr, inner));
+  result.split = true;
+  result.up_key = up;
+  result.right = right_addr;
+  return result;
+}
+
+Status BPlusTreeWorkload::Put(ThreadId t, std::uint64_t key) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  bool inserted = false;
+  NEARPM_ASSIGN_OR_RETURN(split,
+                          PutRecurse(t, root.top, root.height, key, &inserted));
+  bool root_dirty = false;
+  if (split.split) {
+    NEARPM_ASSIGN_OR_RETURN(new_top_addr, h.Alloc(t, sizeof(Inner)));
+    Inner new_top;
+    new_top.level = root.height + 1;
+    new_top.n = 1;
+    new_top.keys[0] = split.up_key;
+    new_top.children[0] = root.top;
+    new_top.children[1] = split.right;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, new_top_addr, new_top));
+    root.top = new_top_addr;
+    root.height += 1;
+    root_dirty = true;
+  }
+  if (inserted) {
+    root.count += 1;
+    root_dirty = true;
+  }
+  if (root_dirty) {
+    NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  }
+  return h.CommitOp(t);
+}
+
+Status BPlusTreeWorkload::VerifyLevel(PmAddr addr, std::uint64_t level,
+                                      std::uint64_t lo, std::uint64_t hi,
+                                      std::uint64_t* count, PmAddr* leftmost) {
+  PersistentHeap& h = heap();
+  if (level == 0) {
+    if (leftmost != nullptr && *leftmost == 0) {
+      *leftmost = addr;
+    }
+    NEARPM_ASSIGN_OR_RETURN(leaf, h.Load<Leaf>(0, addr));
+    if (leaf.n > kLeafKeys) {
+      return DataLoss("bplustree leaf overflow");
+    }
+    for (int i = 0; i < static_cast<int>(leaf.n); ++i) {
+      if (leaf.keys[i] < lo || leaf.keys[i] >= hi) {
+        return DataLoss("bplustree leaf key out of bounds");
+      }
+      if (i > 0 && leaf.keys[i] <= leaf.keys[i - 1]) {
+        return DataLoss("bplustree leaf keys unsorted");
+      }
+      const Value64 expect = ValueForKey(leaf.keys[i]);
+      if (std::memcmp(leaf.values[i].bytes, expect.bytes, kValueSize) != 0) {
+        return DataLoss("bplustree value corrupt");
+      }
+    }
+    *count += leaf.n;
+    return Status::Ok();
+  }
+  NEARPM_ASSIGN_OR_RETURN(inner, h.Load<Inner>(0, addr));
+  if (inner.n == 0 || inner.n > kInnerKeys) {
+    return DataLoss("bplustree inner key count invalid");
+  }
+  std::uint64_t child_lo = lo;
+  for (int i = 0; i <= static_cast<int>(inner.n); ++i) {
+    const std::uint64_t child_hi =
+        i < static_cast<int>(inner.n) ? inner.keys[i] : hi;
+    if (child_hi < child_lo) {
+      return DataLoss("bplustree separators unsorted");
+    }
+    if (inner.children[i] == 0) {
+      return DataLoss("bplustree missing child");
+    }
+    NEARPM_RETURN_IF_ERROR(VerifyLevel(inner.children[i], level - 1, child_lo,
+                                       child_hi, count, leftmost));
+    child_lo = child_hi;
+  }
+  return Status::Ok();
+}
+
+Status BPlusTreeWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kBpMagic || root.top == 0) {
+    return DataLoss("bplustree root corrupt");
+  }
+  std::uint64_t count = 0;
+  PmAddr leftmost = 0;
+  NEARPM_RETURN_IF_ERROR(
+      VerifyLevel(root.top, root.height, 0, ~0ULL, &count, &leftmost));
+  if (count != root.count) {
+    return DataLoss("bplustree count mismatch");
+  }
+  // The leaf chain covers exactly the tree's keys, in order.
+  std::uint64_t chain_count = 0;
+  PmAddr cur = leftmost;
+  std::uint64_t prev = 0;
+  bool first = true;
+  while (cur != 0) {
+    NEARPM_ASSIGN_OR_RETURN(leaf, h.Load<Leaf>(0, cur));
+    for (int i = 0; i < static_cast<int>(leaf.n); ++i) {
+      if (!first && leaf.keys[i] <= prev) {
+        return DataLoss("bplustree leaf chain unsorted");
+      }
+      prev = leaf.keys[i];
+      first = false;
+      ++chain_count;
+    }
+    cur = leaf.next;
+  }
+  if (chain_count != root.count) {
+    return DataLoss("bplustree leaf chain count mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,65 @@
+// Persistent B+-tree: the sorted-tree backend of pmemkv ("stree" engine).
+// Inner nodes hold routing keys only; values live in linked leaves.
+#ifndef SRC_WORKLOADS_BPLUSTREE_H_
+#define SRC_WORKLOADS_BPLUSTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class BPlusTreeWorkload : public Workload {
+ public:
+  static constexpr int kInnerFanout = 16;          // children per inner node
+  static constexpr int kInnerKeys = kInnerFanout - 1;
+  static constexpr int kLeafKeys = 7;
+
+  struct Inner {
+    std::uint64_t n = 0;  // keys in use
+    std::uint64_t level = 1;
+    std::uint64_t keys[kInnerKeys] = {};
+    PmAddr children[kInnerFanout] = {};
+  };
+
+  struct Leaf {
+    std::uint64_t n = 0;
+    PmAddr next = 0;
+    std::uint64_t keys[kLeafKeys] = {};
+    Value64 values[kLeafKeys] = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr top = 0;
+    std::uint64_t height = 0;  // 0 = top is a leaf
+    std::uint64_t count = 0;
+  };
+
+  const char* name() const override { return "pmemkv"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status Put(ThreadId t, std::uint64_t key);
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    std::uint64_t up_key = 0;
+    PmAddr right = 0;
+  };
+
+  StatusOr<SplitResult> PutRecurse(ThreadId t, PmAddr addr, std::uint64_t level,
+                                   std::uint64_t key, bool* inserted);
+  Status VerifyLevel(PmAddr addr, std::uint64_t level, std::uint64_t lo,
+                     std::uint64_t hi, std::uint64_t* count, PmAddr* leftmost);
+
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_BPLUSTREE_H_

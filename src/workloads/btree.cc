@@ -1,0 +1,247 @@
+#include "src/workloads/btree.h"
+
+#include <cstring>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kBTreeMagic = 0x4254524545ULL;
+// App-side compute per tree level (compares, prefetch decisions).
+constexpr double kLevelComputeNs = 120.0;
+// App-side compute per operation (request handling around the insert).
+constexpr double kOpComputeNs = 6500.0;
+
+}  // namespace
+
+Value64 ValueForKey(std::uint64_t key) {
+  Value64 v;
+  for (std::size_t i = 0; i < kValueSize; ++i) {
+    v.bytes[i] = static_cast<std::uint8_t>(key * 131 + i * 17 + 5);
+  }
+  return v;
+}
+
+Status BTreeWorkload::Setup(Runtime& rt, PoolArena& arena,
+                            const WorkloadConfig& config) {
+  config_ = config;
+  key_space_ = config.initial_keys * 2 + 16;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kBTreeMagic;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    NEARPM_RETURN_IF_ERROR(Insert(0, rng.NextBounded(key_space_)));
+  }
+  return Status::Ok();
+}
+
+Status BTreeWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kOpComputeNs);
+  return Insert(t, rng.NextBounded(key_space_));
+}
+
+Status BTreeWorkload::SplitChild(ThreadId t, PmAddr parent_addr, Node parent,
+                                 int index) {
+  PersistentHeap& h = heap();
+  const PmAddr child_addr = parent.children[index];
+  NEARPM_ASSIGN_OR_RETURN(child, h.Load<Node>(t, child_addr));
+  NEARPM_ASSIGN_OR_RETURN(right_addr, h.Alloc(t, sizeof(Node)));
+
+  Node right;
+  right.leaf = child.leaf;
+  right.n = kMinKeys;
+  for (int i = 0; i < kMinKeys; ++i) {
+    right.keys[i] = child.keys[kMinKeys + 1 + i];
+    right.values[i] = child.values[kMinKeys + 1 + i];
+  }
+  if (!child.leaf) {
+    for (int i = 0; i <= kMinKeys; ++i) {
+      right.children[i] = child.children[kMinKeys + 1 + i];
+    }
+  }
+  const std::uint64_t median_key = child.keys[kMinKeys];
+  const Value64 median_value = child.values[kMinKeys];
+  child.n = kMinKeys;
+
+  for (int i = static_cast<int>(parent.n); i > index; --i) {
+    parent.keys[i] = parent.keys[i - 1];
+    parent.values[i] = parent.values[i - 1];
+    parent.children[i + 1] = parent.children[i];
+  }
+  parent.keys[index] = median_key;
+  parent.values[index] = median_value;
+  parent.children[index + 1] = right_addr;
+  parent.n += 1;
+
+  NEARPM_RETURN_IF_ERROR(h.Store(t, right_addr, right));
+  NEARPM_RETURN_IF_ERROR(h.Store(t, child_addr, child));
+  NEARPM_RETURN_IF_ERROR(h.Store(t, parent_addr, parent));
+  return Status::Ok();
+}
+
+Status BTreeWorkload::InsertNonFull(ThreadId t, PmAddr node_addr,
+                                    std::uint64_t key) {
+  PersistentHeap& h = heap();
+  bool inserted = true;
+  while (true) {
+    h.rt().Compute(t, kLevelComputeNs);
+    NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(t, node_addr));
+    int i = 0;
+    while (i < static_cast<int>(node.n) && key > node.keys[i]) {
+      ++i;
+    }
+    if (i < static_cast<int>(node.n) && key == node.keys[i]) {
+      node.values[i] = ValueForKey(key);
+      NEARPM_RETURN_IF_ERROR(h.Store(t, node_addr, node));
+      inserted = false;
+      break;
+    }
+    if (node.leaf) {
+      for (int j = static_cast<int>(node.n); j > i; --j) {
+        node.keys[j] = node.keys[j - 1];
+        node.values[j] = node.values[j - 1];
+      }
+      node.keys[i] = key;
+      node.values[i] = ValueForKey(key);
+      node.n += 1;
+      NEARPM_RETURN_IF_ERROR(h.Store(t, node_addr, node));
+      break;
+    }
+    NEARPM_ASSIGN_OR_RETURN(child, h.Load<Node>(t, node.children[i]));
+    if (child.n == kMaxKeys) {
+      NEARPM_RETURN_IF_ERROR(SplitChild(t, node_addr, node, i));
+      NEARPM_ASSIGN_OR_RETURN(reloaded, h.Load<Node>(t, node_addr));
+      node = reloaded;
+      if (key == node.keys[i]) {
+        node.values[i] = ValueForKey(key);
+        NEARPM_RETURN_IF_ERROR(h.Store(t, node_addr, node));
+        inserted = false;
+        break;
+      }
+      if (key > node.keys[i]) {
+        ++i;
+      }
+    }
+    node_addr = node.children[i];
+  }
+  if (inserted) {
+    NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+    root.count += 1;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  }
+  return Status::Ok();
+}
+
+Status BTreeWorkload::Insert(ThreadId t, std::uint64_t key) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  if (root.top == 0) {
+    NEARPM_ASSIGN_OR_RETURN(top_addr, h.Alloc(t, sizeof(Node)));
+    Node top;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, top_addr, top));
+    root.top = top_addr;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  }
+  NEARPM_ASSIGN_OR_RETURN(top, h.Load<Node>(t, root.top));
+  if (top.n == kMaxKeys) {
+    NEARPM_ASSIGN_OR_RETURN(new_top_addr, h.Alloc(t, sizeof(Node)));
+    Node new_top;
+    new_top.leaf = 0;
+    new_top.children[0] = root.top;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, new_top_addr, new_top));
+    NEARPM_RETURN_IF_ERROR(SplitChild(t, new_top_addr, new_top, 0));
+    root.top = new_top_addr;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  }
+  NEARPM_RETURN_IF_ERROR(InsertNonFull(t, root.top, key));
+  return h.CommitOp(t);
+}
+
+StatusOr<bool> BTreeWorkload::Lookup(ThreadId t, std::uint64_t key,
+                                     Value64* out) {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  PmAddr addr = root.top;
+  while (addr != 0) {
+    h.rt().Compute(t, kLevelComputeNs);
+    NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(t, addr));
+    int i = 0;
+    while (i < static_cast<int>(node.n) && key > node.keys[i]) {
+      ++i;
+    }
+    if (i < static_cast<int>(node.n) && key == node.keys[i]) {
+      if (out != nullptr) {
+        *out = node.values[i];
+      }
+      return true;
+    }
+    if (node.leaf) {
+      return false;
+    }
+    addr = node.children[i];
+  }
+  return false;
+}
+
+Status BTreeWorkload::VerifyNode(PmAddr addr, std::uint64_t lo,
+                                 std::uint64_t hi, std::uint64_t* count) {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, addr));
+  if (node.n > kMaxKeys) {
+    return DataLoss("btree node overflow");
+  }
+  std::uint64_t prev = lo;
+  for (int i = 0; i < static_cast<int>(node.n); ++i) {
+    const std::uint64_t key = node.keys[i];
+    if ((i > 0 || lo > 0) && key <= prev) {
+      return DataLoss("btree keys out of order");
+    }
+    if (key >= hi) {
+      return DataLoss("btree key escapes subtree bound");
+    }
+    const Value64 expect = ValueForKey(key);
+    if (std::memcmp(node.values[i].bytes, expect.bytes, kValueSize) != 0) {
+      return DataLoss("btree value corrupt");
+    }
+    prev = key;
+  }
+  *count += node.n;
+  if (!node.leaf) {
+    std::uint64_t child_lo = lo;
+    for (int i = 0; i <= static_cast<int>(node.n); ++i) {
+      const std::uint64_t child_hi =
+          i < static_cast<int>(node.n) ? node.keys[i] : hi;
+      if (node.children[i] == 0) {
+        return DataLoss("btree missing child");
+      }
+      NEARPM_RETURN_IF_ERROR(
+          VerifyNode(node.children[i], child_lo, child_hi, count));
+      child_lo = child_hi;
+    }
+  }
+  return Status::Ok();
+}
+
+Status BTreeWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kBTreeMagic) {
+    return DataLoss("btree root magic corrupt");
+  }
+  std::uint64_t count = 0;
+  if (root.top != 0) {
+    NEARPM_RETURN_IF_ERROR(VerifyNode(root.top, 0, ~0ULL, &count));
+  }
+  if (count != root.count) {
+    return DataLoss("btree count mismatch: walked " + std::to_string(count) +
+                    " recorded " + std::to_string(root.count));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

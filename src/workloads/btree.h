@@ -1,0 +1,53 @@
+// Persistent B-tree (the PMDK "btree" example): order 8, keys and 64-byte
+// values stored in every node, preemptive-split insertion.
+#ifndef SRC_WORKLOADS_BTREE_H_
+#define SRC_WORKLOADS_BTREE_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class BTreeWorkload : public Workload {
+ public:
+  static constexpr int kOrder = 8;               // max children
+  static constexpr int kMaxKeys = kOrder - 1;    // 7
+  static constexpr int kMinKeys = kOrder / 2 - 1;
+
+  struct Node {
+    std::uint64_t n = 0;
+    std::uint64_t leaf = 1;
+    std::uint64_t keys[kMaxKeys] = {};
+    PmAddr children[kOrder] = {};
+    Value64 values[kMaxKeys] = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr top = 0;
+    std::uint64_t count = 0;  // total keys, updated in the same op
+  };
+
+  const char* name() const override { return "btree"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  // Inserts (or updates) key -> ValueForKey(key) as one failure-atomic op.
+  Status Insert(ThreadId t, std::uint64_t key);
+  StatusOr<bool> Lookup(ThreadId t, std::uint64_t key, Value64* out);
+
+ private:
+  Status SplitChild(ThreadId t, PmAddr parent_addr, Node parent, int index);
+  Status InsertNonFull(ThreadId t, PmAddr node_addr, std::uint64_t key);
+  Status VerifyNode(PmAddr addr, std::uint64_t lo, std::uint64_t hi,
+                    std::uint64_t* count);
+
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_BTREE_H_

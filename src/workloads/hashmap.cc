@@ -1,0 +1,135 @@
+#include "src/workloads/hashmap.h"
+
+#include <cstring>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kHashMagic = 0x484153484dULL;
+constexpr double kHashComputeNs = 150.0;  // hashing the key
+constexpr double kOpComputeNs = 5500.0;
+
+}  // namespace
+
+std::uint64_t HashMapWorkload::HashKey(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+Status HashMapWorkload::Setup(Runtime& rt, PoolArena& arena,
+                              const WorkloadConfig& config) {
+  config_ = config;
+  key_space_ = config.initial_keys * 2 + 16;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kHashMagic;
+  for (std::uint64_t s = 0; s < kSegments; ++s) {
+    NEARPM_ASSIGN_OR_RETURN(seg, h.Alloc(0, kPmPageSize));
+    // Zero the segment (bucket heads empty).
+    std::vector<std::uint8_t> zero(kPmPageSize, 0);
+    NEARPM_RETURN_IF_ERROR(h.Write(0, seg, zero));
+    root.segments[s] = seg;
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    NEARPM_RETURN_IF_ERROR(Put(0, rng.NextBounded(key_space_)));
+  }
+  return Status::Ok();
+}
+
+Status HashMapWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kOpComputeNs);
+  return Put(t, rng.NextBounded(key_space_));
+}
+
+StatusOr<PmAddr> HashMapWorkload::BucketSlotAddr(ThreadId t,
+                                                 std::uint64_t bucket) {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  const std::uint64_t segment = bucket / kBucketsPerSegment;
+  const std::uint64_t slot = bucket % kBucketsPerSegment;
+  return root.segments[segment] + slot * sizeof(PmAddr);
+}
+
+Status HashMapWorkload::Put(ThreadId t, std::uint64_t key) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  h.rt().Compute(t, kHashComputeNs);
+  const std::uint64_t bucket = HashKey(key) % kBuckets;
+  NEARPM_ASSIGN_OR_RETURN(slot_addr, BucketSlotAddr(t, bucket));
+  NEARPM_ASSIGN_OR_RETURN(head, h.Load<PmAddr>(t, slot_addr));
+
+  // Search the chain for an existing key.
+  PmAddr cur = head;
+  while (cur != 0) {
+    NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(t, cur));
+    if (node.key == key) {
+      node.value = ValueForKey(key);
+      NEARPM_RETURN_IF_ERROR(h.Store(t, cur, node));
+      return h.CommitOp(t);
+    }
+    cur = node.next;
+  }
+
+  // Prepend a new node.
+  NEARPM_ASSIGN_OR_RETURN(node_addr, h.Alloc(t, sizeof(Node)));
+  Node node;
+  node.key = key;
+  node.next = head;
+  node.value = ValueForKey(key);
+  NEARPM_RETURN_IF_ERROR(h.Store(t, node_addr, node));
+  NEARPM_RETURN_IF_ERROR(h.Store(t, slot_addr, node_addr));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  root.count += 1;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  return h.CommitOp(t);
+}
+
+Status HashMapWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kHashMagic) {
+    return DataLoss("hashmap root magic corrupt");
+  }
+  std::uint64_t count = 0;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t segment = b / kBucketsPerSegment;
+    const std::uint64_t slot = b % kBucketsPerSegment;
+    if (root.segments[segment] == 0) {
+      return DataLoss("hashmap segment missing");
+    }
+    NEARPM_ASSIGN_OR_RETURN(
+        head, h.Load<PmAddr>(0, root.segments[segment] + slot * 8));
+    PmAddr cur = head;
+    std::uint64_t chain = 0;
+    while (cur != 0) {
+      NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, cur));
+      if (HashKey(node.key) % kBuckets != b) {
+        return DataLoss("hashmap node in wrong bucket");
+      }
+      const Value64 expect = ValueForKey(node.key);
+      if (std::memcmp(node.value.bytes, expect.bytes, kValueSize) != 0) {
+        return DataLoss("hashmap value corrupt");
+      }
+      ++count;
+      if (++chain > root.count + 1) {
+        return DataLoss("hashmap chain cycle");
+      }
+      cur = node.next;
+    }
+  }
+  if (count != root.count) {
+    return DataLoss("hashmap count mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,48 @@
+// Persistent chained hash map (the PMDK "hashmap_tx" example): a directory
+// of bucket segments in the root page, chained nodes per bucket.
+#ifndef SRC_WORKLOADS_HASHMAP_H_
+#define SRC_WORKLOADS_HASHMAP_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class HashMapWorkload : public Workload {
+ public:
+  static constexpr std::uint64_t kSegments = 16;
+  static constexpr std::uint64_t kBucketsPerSegment = 512;  // 4 kB of PmAddr
+  static constexpr std::uint64_t kBuckets = kSegments * kBucketsPerSegment;
+
+  struct Node {
+    std::uint64_t key = 0;
+    PmAddr next = 0;
+    Value64 value = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    PmAddr segments[kSegments] = {};
+  };
+
+  const char* name() const override { return "hashmap"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status Put(ThreadId t, std::uint64_t key);
+
+  static std::uint64_t HashKey(std::uint64_t key);
+
+ private:
+  StatusOr<PmAddr> BucketSlotAddr(ThreadId t, std::uint64_t bucket);
+
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_HASHMAP_H_

@@ -1,0 +1,141 @@
+#include "src/workloads/kvserver.h"
+
+#include <cstring>
+
+#include "src/workloads/hashmap.h"
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kKvMagic = 0x4b565352563158ULL;
+// Request front end: parse, dispatch, respond (no kernel network stack; the
+// paper's servers run loopback clients).
+constexpr double kRequestComputeNs = 4200.0;
+constexpr double kHashComputeNs = 150.0;
+
+}  // namespace
+
+Status KvServerWorkload::InitTable(PersistentHeap& h) {
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kKvMagic;
+  for (std::uint64_t s = 0; s < kSegments; ++s) {
+    NEARPM_ASSIGN_OR_RETURN(seg, h.Alloc(0, kPmPageSize));
+    std::vector<std::uint8_t> zero(kPmPageSize, 0);
+    NEARPM_RETURN_IF_ERROR(h.Write(0, seg, zero));
+    root.segments[s] = seg;
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  return h.CommitOp(0);
+}
+
+Status KvServerWorkload::Setup(Runtime& rt, PoolArena& arena,
+                               const WorkloadConfig& config) {
+  config_ = config;
+  const int pools = shared_pool_ ? 1 : config.threads;
+  for (int p = 0; p < pools; ++p) {
+    // Every pool carries CC areas for all threads so an application thread
+    // uses its own clock and log area regardless of the pool it serves.
+    NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+    NEARPM_RETURN_IF_ERROR(InitTable(*heaps_.back()));
+  }
+  // Per-thread YCSB generators. Memcached partitions the keyspace by pool;
+  // redis shares it.
+  YcsbWorkloadGen::Mix mix;  // 100% update
+  for (int t = 0; t < config.threads; ++t) {
+    gens_.push_back(std::make_unique<YcsbWorkloadGen>(
+        config.initial_keys * 2 + 16, mix, /*zipfian=*/true));
+  }
+  // Preload.
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    for (int t = 0; t < (shared_pool_ ? 1 : config.threads); ++t) {
+      NEARPM_RETURN_IF_ERROR(
+          Set(static_cast<ThreadId>(t),
+              rng.NextBounded(config.initial_keys * 2 + 16)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status KvServerWorkload::RunOp(ThreadId t, Rng& rng) {
+  PersistentHeap& h = HeapFor(t);
+  h.rt().Compute(t, kRequestComputeNs);
+  const YcsbOp op = gens_[t]->Next(rng);
+  return Set(t, op.key);
+}
+
+Status KvServerWorkload::Set(ThreadId t, std::uint64_t key) {
+  PersistentHeap& h = HeapFor(t);
+  const ThreadId pt = PoolThread(t);
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(pt));
+  h.rt().Compute(t, kHashComputeNs);
+  const std::uint64_t bucket = HashMapWorkload::HashKey(key) % kBuckets;
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(pt, h.root()));
+  const PmAddr slot_addr = root.segments[bucket / kBucketsPerSegment] +
+                           (bucket % kBucketsPerSegment) * sizeof(PmAddr);
+  NEARPM_ASSIGN_OR_RETURN(head, h.Load<PmAddr>(pt, slot_addr));
+  PmAddr cur = head;
+  while (cur != 0) {
+    NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(pt, cur));
+    if (node.key == key) {
+      node.value = ValueForKey(key);
+      NEARPM_RETURN_IF_ERROR(h.Store(pt, cur, node));
+      return h.CommitOp(pt);
+    }
+    cur = node.next;
+  }
+  NEARPM_ASSIGN_OR_RETURN(node_addr, h.Alloc(pt, sizeof(Node)));
+  Node node;
+  node.key = key;
+  node.next = head;
+  node.value = ValueForKey(key);
+  NEARPM_RETURN_IF_ERROR(h.Store(pt, node_addr, node));
+  NEARPM_RETURN_IF_ERROR(h.Store(pt, slot_addr, node_addr));
+  root.count += 1;
+  NEARPM_RETURN_IF_ERROR(h.Store(pt, h.root(), root));
+  return h.CommitOp(pt);
+}
+
+Status KvServerWorkload::VerifyTable(PersistentHeap& h) {
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kKvMagic) {
+    return DataLoss("kvserver root magic corrupt");
+  }
+  std::uint64_t count = 0;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    NEARPM_ASSIGN_OR_RETURN(
+        head, h.Load<PmAddr>(0, root.segments[b / kBucketsPerSegment] +
+                                    (b % kBucketsPerSegment) * 8));
+    PmAddr cur = head;
+    std::uint64_t chain = 0;
+    while (cur != 0) {
+      NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, cur));
+      if (HashMapWorkload::HashKey(node.key) % kBuckets != b) {
+        return DataLoss("kvserver node in wrong bucket");
+      }
+      const Value64 expect = ValueForKey(node.key);
+      if (std::memcmp(node.value.bytes, expect.bytes, kValueSize) != 0) {
+        return DataLoss("kvserver value corrupt");
+      }
+      ++count;
+      if (++chain > root.count + 1) {
+        return DataLoss("kvserver chain cycle");
+      }
+      cur = node.next;
+    }
+  }
+  if (count != root.count) {
+    return DataLoss("kvserver count mismatch");
+  }
+  return Status::Ok();
+}
+
+Status KvServerWorkload::Verify() {
+  for (auto& h : heaps_) {
+    NEARPM_RETURN_IF_ERROR(VerifyTable(*h));
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,66 @@
+// KV-server workloads: the "memcached" and "redis" configurations of the
+// paper's evaluation (100% write requests from YCSB, Table 4).
+//
+// Both are chained-hash stores behind a request-processing front end; they
+// differ in pool topology, matching Section 8.3.1: memcached gives every
+// server thread its own PM pool, redis shares one pool among all threads.
+#ifndef SRC_WORKLOADS_KVSERVER_H_
+#define SRC_WORKLOADS_KVSERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/workloads/workload.h"
+#include "src/workloads/ycsb.h"
+
+namespace nearpm {
+
+class KvServerWorkload : public Workload {
+ public:
+  static constexpr std::uint64_t kSegments = 16;
+  static constexpr std::uint64_t kBucketsPerSegment = 512;
+  static constexpr std::uint64_t kBuckets = kSegments * kBucketsPerSegment;
+
+  struct Node {
+    std::uint64_t key = 0;
+    PmAddr next = 0;
+    Value64 value = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    PmAddr segments[kSegments] = {};
+  };
+
+  // shared_pool=true: redis flavor; false: memcached flavor.
+  explicit KvServerWorkload(bool shared_pool) : shared_pool_(shared_pool) {}
+
+  const char* name() const override {
+    return shared_pool_ ? "redis" : "memcached";
+  }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status Set(ThreadId t, std::uint64_t key);
+
+ private:
+  // Heap and in-pool thread id serving application thread `t`.
+  PersistentHeap& HeapFor(ThreadId t) {
+    return shared_pool_ ? heap() : heap(t);
+  }
+  ThreadId PoolThread(ThreadId t) const { return t; }
+
+  Status InitTable(PersistentHeap& h);
+  Status VerifyTable(PersistentHeap& h);
+
+  bool shared_pool_;
+  std::vector<std::unique_ptr<YcsbWorkloadGen>> gens_;  // one per thread
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_KVSERVER_H_

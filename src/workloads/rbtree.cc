@@ -1,0 +1,325 @@
+#include "src/workloads/rbtree.h"
+
+#include <cstring>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kRbMagic = 0x5242545245ULL;
+constexpr double kLevelComputeNs = 110.0;
+constexpr double kOpComputeNs = 6500.0;
+
+}  // namespace
+
+StatusOr<RbTreeWorkload::Node> RbTreeWorkload::NodeCache::Get(PmAddr addr) {
+  auto it = cache_.find(addr);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  NEARPM_ASSIGN_OR_RETURN(node, heap_->Load<Node>(t_, addr));
+  cache_.emplace(addr, node);
+  return node;
+}
+
+void RbTreeWorkload::NodeCache::Put(PmAddr addr, const Node& node) {
+  cache_[addr] = node;
+  dirty_[addr] = true;
+}
+
+Status RbTreeWorkload::NodeCache::Flush() {
+  for (const auto& [addr, is_dirty] : dirty_) {
+    if (is_dirty) {
+      NEARPM_RETURN_IF_ERROR(heap_->Store(t_, addr, cache_.at(addr)));
+    }
+  }
+  dirty_.clear();
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::Setup(Runtime& rt, PoolArena& arena,
+                             const WorkloadConfig& config) {
+  config_ = config;
+  key_space_ = config.initial_keys * 2 + 16;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kRbMagic;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    NEARPM_RETURN_IF_ERROR(Insert(0, rng.NextBounded(key_space_)));
+  }
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kOpComputeNs);
+  return Insert(t, rng.NextBounded(key_space_));
+}
+
+Status RbTreeWorkload::RotateLeft(NodeCache& c, Root& root, PmAddr x_addr) {
+  NEARPM_ASSIGN_OR_RETURN(x, c.Get(x_addr));
+  const PmAddr y_addr = x.right;
+  NEARPM_ASSIGN_OR_RETURN(y, c.Get(y_addr));
+  x.right = y.left;
+  if (y.left != 0) {
+    NEARPM_ASSIGN_OR_RETURN(yl, c.Get(y.left));
+    yl.parent = x_addr;
+    c.Put(y.left, yl);
+  }
+  y.parent = x.parent;
+  if (x.parent == 0) {
+    root.top = y_addr;
+  } else {
+    NEARPM_ASSIGN_OR_RETURN(p, c.Get(x.parent));
+    if (p.left == x_addr) {
+      p.left = y_addr;
+    } else {
+      p.right = y_addr;
+    }
+    c.Put(x.parent, p);
+  }
+  y.left = x_addr;
+  x.parent = y_addr;
+  c.Put(x_addr, x);
+  c.Put(y_addr, y);
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::RotateRight(NodeCache& c, Root& root, PmAddr x_addr) {
+  NEARPM_ASSIGN_OR_RETURN(x, c.Get(x_addr));
+  const PmAddr y_addr = x.left;
+  NEARPM_ASSIGN_OR_RETURN(y, c.Get(y_addr));
+  x.left = y.right;
+  if (y.right != 0) {
+    NEARPM_ASSIGN_OR_RETURN(yr, c.Get(y.right));
+    yr.parent = x_addr;
+    c.Put(y.right, yr);
+  }
+  y.parent = x.parent;
+  if (x.parent == 0) {
+    root.top = y_addr;
+  } else {
+    NEARPM_ASSIGN_OR_RETURN(p, c.Get(x.parent));
+    if (p.right == x_addr) {
+      p.right = y_addr;
+    } else {
+      p.left = y_addr;
+    }
+    c.Put(x.parent, p);
+  }
+  y.right = x_addr;
+  x.parent = y_addr;
+  c.Put(x_addr, x);
+  c.Put(y_addr, y);
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::InsertFixup(NodeCache& c, Root& root, PmAddr z_addr) {
+  while (true) {
+    NEARPM_ASSIGN_OR_RETURN(z, c.Get(z_addr));
+    if (z.parent == 0) {
+      break;
+    }
+    NEARPM_ASSIGN_OR_RETURN(parent, c.Get(z.parent));
+    if (parent.color != kRed) {
+      break;
+    }
+    // The parent is red, so the grandparent exists (the root is black).
+    const PmAddr gp_addr = parent.parent;
+    NEARPM_ASSIGN_OR_RETURN(gp, c.Get(gp_addr));
+    if (z.parent == gp.left) {
+      const PmAddr uncle_addr = gp.right;
+      bool uncle_red = false;
+      if (uncle_addr != 0) {
+        NEARPM_ASSIGN_OR_RETURN(uncle, c.Get(uncle_addr));
+        uncle_red = uncle.color == kRed;
+        if (uncle_red) {
+          uncle.color = kBlack;
+          c.Put(uncle_addr, uncle);
+        }
+      }
+      if (uncle_red) {
+        parent.color = kBlack;
+        gp.color = kRed;
+        c.Put(z.parent, parent);
+        c.Put(gp_addr, gp);
+        z_addr = gp_addr;
+        continue;
+      }
+      if (z_addr == parent.right) {
+        const PmAddr old_parent = z.parent;
+        NEARPM_RETURN_IF_ERROR(RotateLeft(c, root, old_parent));
+        z_addr = old_parent;
+      }
+      NEARPM_ASSIGN_OR_RETURN(z2, c.Get(z_addr));
+      NEARPM_ASSIGN_OR_RETURN(p2, c.Get(z2.parent));
+      p2.color = kBlack;
+      c.Put(z2.parent, p2);
+      if (p2.parent != 0) {
+        NEARPM_ASSIGN_OR_RETURN(gp2, c.Get(p2.parent));
+        gp2.color = kRed;
+        c.Put(p2.parent, gp2);
+        NEARPM_RETURN_IF_ERROR(RotateRight(c, root, p2.parent));
+      }
+      break;
+    }
+    // Mirror image.
+    const PmAddr uncle_addr = gp.left;
+    bool uncle_red = false;
+    if (uncle_addr != 0) {
+      NEARPM_ASSIGN_OR_RETURN(uncle, c.Get(uncle_addr));
+      uncle_red = uncle.color == kRed;
+      if (uncle_red) {
+        uncle.color = kBlack;
+        c.Put(uncle_addr, uncle);
+      }
+    }
+    if (uncle_red) {
+      parent.color = kBlack;
+      gp.color = kRed;
+      c.Put(z.parent, parent);
+      c.Put(gp_addr, gp);
+      z_addr = gp_addr;
+      continue;
+    }
+    if (z_addr == parent.left) {
+      const PmAddr old_parent = z.parent;
+      NEARPM_RETURN_IF_ERROR(RotateRight(c, root, old_parent));
+      z_addr = old_parent;
+    }
+    NEARPM_ASSIGN_OR_RETURN(z2, c.Get(z_addr));
+    NEARPM_ASSIGN_OR_RETURN(p2, c.Get(z2.parent));
+    p2.color = kBlack;
+    c.Put(z2.parent, p2);
+    if (p2.parent != 0) {
+      NEARPM_ASSIGN_OR_RETURN(gp2, c.Get(p2.parent));
+      gp2.color = kRed;
+      c.Put(p2.parent, gp2);
+      NEARPM_RETURN_IF_ERROR(RotateLeft(c, root, p2.parent));
+    }
+    break;
+  }
+  // The root is always black.
+  NEARPM_ASSIGN_OR_RETURN(top, c.Get(root.top));
+  if (top.color != kBlack) {
+    top.color = kBlack;
+    c.Put(root.top, top);
+  }
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::Insert(ThreadId t, std::uint64_t key) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  NodeCache cache(&h, t);
+
+  // Standard BST descent.
+  PmAddr parent_addr = 0;
+  PmAddr cur = root.top;
+  bool went_left = false;
+  while (cur != 0) {
+    h.rt().Compute(t, kLevelComputeNs);
+    NEARPM_ASSIGN_OR_RETURN(node, cache.Get(cur));
+    if (key == node.key) {
+      node.value = ValueForKey(key);
+      cache.Put(cur, node);
+      NEARPM_RETURN_IF_ERROR(cache.Flush());
+      return h.CommitOp(t);
+    }
+    parent_addr = cur;
+    went_left = key < node.key;
+    cur = went_left ? node.left : node.right;
+  }
+
+  NEARPM_ASSIGN_OR_RETURN(z_addr, h.Alloc(t, sizeof(Node)));
+  Node z;
+  z.key = key;
+  z.value = ValueForKey(key);
+  z.parent = parent_addr;
+  cache.Put(z_addr, z);
+  if (parent_addr == 0) {
+    root.top = z_addr;
+  } else {
+    NEARPM_ASSIGN_OR_RETURN(parent, cache.Get(parent_addr));
+    if (went_left) {
+      parent.left = z_addr;
+    } else {
+      parent.right = z_addr;
+    }
+    cache.Put(parent_addr, parent);
+  }
+  NEARPM_RETURN_IF_ERROR(InsertFixup(cache, root, z_addr));
+  root.count += 1;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(cache.Flush());
+  return h.CommitOp(t);
+}
+
+Status RbTreeWorkload::VerifyNode(PmAddr addr, std::uint64_t lo,
+                                  std::uint64_t hi, std::uint64_t* count,
+                                  int* black_height) {
+  if (addr == 0) {
+    *black_height = 1;
+    return Status::Ok();
+  }
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, addr));
+  if (node.key < lo || node.key >= hi) {
+    return DataLoss("rbtree key out of subtree bounds");
+  }
+  const Value64 expect = ValueForKey(node.key);
+  if (std::memcmp(node.value.bytes, expect.bytes, kValueSize) != 0) {
+    return DataLoss("rbtree value corrupt");
+  }
+  if (node.color == kRed) {
+    for (PmAddr child : {node.left, node.right}) {
+      if (child != 0) {
+        NEARPM_ASSIGN_OR_RETURN(cn, h.Load<Node>(0, child));
+        if (cn.color == kRed) {
+          return DataLoss("rbtree red-red violation");
+        }
+      }
+    }
+  }
+  int left_bh = 0;
+  int right_bh = 0;
+  NEARPM_RETURN_IF_ERROR(VerifyNode(node.left, lo, node.key, count, &left_bh));
+  NEARPM_RETURN_IF_ERROR(
+      VerifyNode(node.right, node.key + 1, hi, count, &right_bh));
+  if (left_bh != right_bh) {
+    return DataLoss("rbtree black-height mismatch");
+  }
+  *black_height = left_bh + (node.color == kBlack ? 1 : 0);
+  *count += 1;
+  return Status::Ok();
+}
+
+Status RbTreeWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kRbMagic) {
+    return DataLoss("rbtree root magic corrupt");
+  }
+  std::uint64_t count = 0;
+  int bh = 0;
+  if (root.top != 0) {
+    NEARPM_ASSIGN_OR_RETURN(top, h.Load<Node>(0, root.top));
+    if (top.color != kBlack) {
+      return DataLoss("rbtree root is red");
+    }
+    if (top.parent != 0) {
+      return DataLoss("rbtree root has a parent");
+    }
+    NEARPM_RETURN_IF_ERROR(VerifyNode(root.top, 0, ~0ULL, &count, &bh));
+  }
+  if (count != root.count) {
+    return DataLoss("rbtree count mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,70 @@
+// Persistent red-black tree (the PMDK "rbtree" example): CLRS insertion with
+// recoloring and rotations. Node mutations are staged in a per-operation
+// write cache and flushed as whole-node stores, so every mechanism (including
+// redo logging's exact-range redirects) sees uniform access granularity.
+#ifndef SRC_WORKLOADS_RBTREE_H_
+#define SRC_WORKLOADS_RBTREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class RbTreeWorkload : public Workload {
+ public:
+  enum Color : std::uint64_t { kBlack = 0, kRed = 1 };
+
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint64_t color = kRed;
+    PmAddr left = 0;
+    PmAddr right = 0;
+    PmAddr parent = 0;
+    Value64 value = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr top = 0;
+    std::uint64_t count = 0;
+  };
+
+  const char* name() const override { return "rbtree"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status Insert(ThreadId t, std::uint64_t key);
+
+ private:
+  // Per-operation staging cache: reads come from the cache when present,
+  // all dirty nodes flush as whole-node stores before commit.
+  class NodeCache {
+   public:
+    NodeCache(PersistentHeap* heap, ThreadId t) : heap_(heap), t_(t) {}
+    StatusOr<Node> Get(PmAddr addr);
+    void Put(PmAddr addr, const Node& node);
+    Status Flush();
+
+   private:
+    PersistentHeap* heap_;
+    ThreadId t_;
+    std::unordered_map<PmAddr, Node> cache_;
+    std::unordered_map<PmAddr, bool> dirty_;
+  };
+
+  Status RotateLeft(NodeCache& c, Root& root, PmAddr x_addr);
+  Status RotateRight(NodeCache& c, Root& root, PmAddr x_addr);
+  Status InsertFixup(NodeCache& c, Root& root, PmAddr z_addr);
+  Status VerifyNode(PmAddr addr, std::uint64_t lo, std::uint64_t hi,
+                    std::uint64_t* count, int* black_height);
+
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_RBTREE_H_

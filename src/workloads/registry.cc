@@ -1,0 +1,53 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/bplustree.h"
+#include "src/workloads/btree.h"
+#include "src/workloads/hashmap.h"
+#include "src/workloads/kvserver.h"
+#include "src/workloads/rbtree.h"
+#include "src/workloads/skiplist.h"
+#include "src/workloads/tatp.h"
+#include "src/workloads/tpcc.h"
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+std::unique_ptr<Workload> CreateWorkload(const std::string& name) {
+  if (name == "btree") {
+    return std::make_unique<BTreeWorkload>();
+  }
+  if (name == "rbtree") {
+    return std::make_unique<RbTreeWorkload>();
+  }
+  if (name == "skiplist") {
+    return std::make_unique<SkipListWorkload>();
+  }
+  if (name == "hashmap") {
+    return std::make_unique<HashMapWorkload>();
+  }
+  if (name == "pmemkv") {
+    return std::make_unique<BPlusTreeWorkload>();
+  }
+  if (name == "memcached") {
+    return std::make_unique<KvServerWorkload>(/*shared_pool=*/false);
+  }
+  if (name == "redis") {
+    return std::make_unique<KvServerWorkload>(/*shared_pool=*/true);
+  }
+  if (name == "tpcc") {
+    return std::make_unique<TpccWorkload>();
+  }
+  if (name == "tatp") {
+    return std::make_unique<TatpWorkload>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> EvaluatedWorkloads() {
+  return {"tpcc",   "tatp",      "btree", "rbtree", "skiplist",
+          "hashmap", "memcached", "redis", "pmemkv"};
+}
+
+}  // namespace nearpm

@@ -1,0 +1,154 @@
+#include "src/workloads/skiplist.h"
+
+#include <cstring>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kSkipMagic = 0x534b49504cULL;
+constexpr double kHopComputeNs = 60.0;
+constexpr double kOpComputeNs = 3200.0;
+
+}  // namespace
+
+Status SkipListWorkload::Setup(Runtime& rt, PoolArena& arena,
+                               const WorkloadConfig& config) {
+  config_ = config;
+  key_space_ = config.initial_keys * 2 + 16;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  NEARPM_ASSIGN_OR_RETURN(head_addr, h.Alloc(0, sizeof(Node)));
+  Node head;
+  head.height = kLevels;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, head_addr, head));
+  Root root;
+  root.magic = kSkipMagic;
+  root.head = head_addr;
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  Rng rng(config.seed);
+  for (std::uint64_t i = 0; i < config.initial_keys; ++i) {
+    NEARPM_RETURN_IF_ERROR(Insert(0, rng.NextBounded(key_space_), rng));
+  }
+  return Status::Ok();
+}
+
+Status SkipListWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kOpComputeNs);
+  return Insert(t, rng.NextBounded(key_space_), rng);
+}
+
+Status SkipListWorkload::Insert(ThreadId t, std::uint64_t key, Rng& rng) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+
+  // Find the predecessor at every level.
+  PmAddr preds[kLevels];
+  PmAddr cur = root.head;
+  NEARPM_ASSIGN_OR_RETURN(cur_node, h.Load<Node>(t, cur));
+  for (int level = kLevels - 1; level >= 0; --level) {
+    while (cur_node.next[level] != 0) {
+      h.rt().Compute(t, kHopComputeNs);
+      NEARPM_ASSIGN_OR_RETURN(next, h.Load<Node>(t, cur_node.next[level]));
+      if (next.key >= key) {
+        break;
+      }
+      cur = cur_node.next[level];
+      cur_node = next;
+    }
+    preds[level] = cur;
+  }
+
+  // Existing key: update the value in place.
+  if (cur_node.next[0] != 0) {
+    NEARPM_ASSIGN_OR_RETURN(candidate, h.Load<Node>(t, cur_node.next[0]));
+    if (candidate.key == key) {
+      candidate.value = ValueForKey(key);
+      NEARPM_RETURN_IF_ERROR(h.Store(t, cur_node.next[0], candidate));
+      return h.CommitOp(t);
+    }
+  }
+
+  // Geometric height in [1, kLevels].
+  std::uint64_t height = 1;
+  while (height < kLevels && rng.NextBool(0.5)) {
+    ++height;
+  }
+
+  NEARPM_ASSIGN_OR_RETURN(node_addr, h.Alloc(t, sizeof(Node)));
+  Node node;
+  node.key = key;
+  node.height = height;
+  node.value = ValueForKey(key);
+
+  // Link bottom-up. Predecessor nodes may repeat across levels; reload each
+  // time so the previous level's update is seen.
+  for (std::uint64_t level = 0; level < height; ++level) {
+    NEARPM_ASSIGN_OR_RETURN(pred, h.Load<Node>(t, preds[level]));
+    node.next[level] = pred.next[level];
+    pred.next[level] = node_addr;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, node_addr, node));
+    NEARPM_RETURN_IF_ERROR(h.Store(t, preds[level], pred));
+  }
+
+  root.count += 1;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  return h.CommitOp(t);
+}
+
+Status SkipListWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kSkipMagic || root.head == 0) {
+    return DataLoss("skiplist root corrupt");
+  }
+  // Level 0: strictly sorted, count matches, values intact.
+  std::uint64_t count = 0;
+  NEARPM_ASSIGN_OR_RETURN(head, h.Load<Node>(0, root.head));
+  PmAddr cur = head.next[0];
+  std::uint64_t prev_key = 0;
+  bool first = true;
+  while (cur != 0) {
+    NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, cur));
+    if (!first && node.key <= prev_key) {
+      return DataLoss("skiplist level-0 order violated");
+    }
+    const Value64 expect = ValueForKey(node.key);
+    if (std::memcmp(node.value.bytes, expect.bytes, kValueSize) != 0) {
+      return DataLoss("skiplist value corrupt");
+    }
+    if (node.height == 0 || node.height > kLevels) {
+      return DataLoss("skiplist node height corrupt");
+    }
+    prev_key = node.key;
+    first = false;
+    ++count;
+    cur = node.next[0];
+  }
+  if (count != root.count) {
+    return DataLoss("skiplist count mismatch");
+  }
+  // Upper levels: sorted and consistent with the node heights.
+  for (int level = 1; level < kLevels; ++level) {
+    cur = head.next[level];
+    first = true;
+    prev_key = 0;
+    while (cur != 0) {
+      NEARPM_ASSIGN_OR_RETURN(node, h.Load<Node>(0, cur));
+      if (static_cast<int>(node.height) <= level) {
+        return DataLoss("skiplist node linked above its height");
+      }
+      if (!first && node.key <= prev_key) {
+        return DataLoss("skiplist upper-level order violated");
+      }
+      prev_key = node.key;
+      first = false;
+      cur = node.next[level];
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,43 @@
+// Persistent skip list (the PMDK "skiplist" example): four fixed levels,
+// pseudo-random node heights, sentinel head node.
+#ifndef SRC_WORKLOADS_SKIPLIST_H_
+#define SRC_WORKLOADS_SKIPLIST_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class SkipListWorkload : public Workload {
+ public:
+  static constexpr int kLevels = 4;
+
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint64_t height = 1;
+    PmAddr next[kLevels] = {};
+    Value64 value = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr head = 0;  // sentinel, present in all levels
+    std::uint64_t count = 0;
+  };
+
+  const char* name() const override { return "skiplist"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status Insert(ThreadId t, std::uint64_t key, Rng& rng);
+
+ private:
+  std::uint64_t key_space_ = 0;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_SKIPLIST_H_

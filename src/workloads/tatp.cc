@@ -1,0 +1,103 @@
+#include "src/workloads/tatp.h"
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kTatpMagic = 0x54415450ULL;
+constexpr double kTxComputeNs = 5200.0;
+
+}  // namespace
+
+std::uint64_t TatpWorkload::SubscriberRow::ComputeCrc() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t v : {s_id, bit_flags, hex_flags, location, vlr}) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+Status TatpWorkload::Setup(Runtime& rt, PoolArena& arena,
+                           const WorkloadConfig& config) {
+  config_ = config;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kTatpMagic;
+  for (std::uint64_t p = 0; p * kRowsPerPage < kSubscribers; ++p) {
+    NEARPM_ASSIGN_OR_RETURN(page, h.Alloc(0, kPmPageSize));
+    root.pages[p] = page;
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  // Populate subscribers in batches (each its own transaction).
+  for (std::uint64_t s = 0; s < kSubscribers; s += kRowsPerPage) {
+    NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+    for (std::uint64_t i = s; i < s + kRowsPerPage && i < kSubscribers; ++i) {
+      SubscriberRow row;
+      row.s_id = i;
+      row.location = i * 31;
+      row.crc = row.ComputeCrc();
+      NEARPM_RETURN_IF_ERROR(h.Store(0, RowAddr(root, i), row));
+    }
+    NEARPM_RETURN_IF_ERROR(h.CommitOp(0));
+  }
+  return Status::Ok();
+}
+
+Status TatpWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kTxComputeNs);
+  // TATP write mix: update_subscriber_data and update_location.
+  if (rng.NextBool(0.5)) {
+    return UpdateSubscriberData(t, rng);
+  }
+  return UpdateLocation(t, rng);
+}
+
+Status TatpWorkload::UpdateSubscriberData(ThreadId t, Rng& rng) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  const std::uint64_t s_id = rng.NextBounded(kSubscribers);
+  const PmAddr addr = RowAddr(root, s_id);
+  NEARPM_ASSIGN_OR_RETURN(row, h.Load<SubscriberRow>(t, addr));
+  row.bit_flags = rng.Next();
+  row.hex_flags = rng.Next();
+  row.crc = row.ComputeCrc();
+  NEARPM_RETURN_IF_ERROR(h.Store(t, addr, row));
+  return h.CommitOp(t);
+}
+
+Status TatpWorkload::UpdateLocation(ThreadId t, Rng& rng) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  const std::uint64_t s_id = rng.NextBounded(kSubscribers);
+  const PmAddr addr = RowAddr(root, s_id);
+  NEARPM_ASSIGN_OR_RETURN(row, h.Load<SubscriberRow>(t, addr));
+  row.location = rng.Next();
+  row.vlr = rng.Next();
+  row.crc = row.ComputeCrc();
+  NEARPM_RETURN_IF_ERROR(h.Store(t, addr, row));
+  return h.CommitOp(t);
+}
+
+Status TatpWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kTatpMagic) {
+    return DataLoss("tatp root magic corrupt");
+  }
+  for (std::uint64_t s = 0; s < kSubscribers; ++s) {
+    NEARPM_ASSIGN_OR_RETURN(row, h.Load<SubscriberRow>(0, RowAddr(root, s)));
+    if (row.s_id != s) {
+      return DataLoss("tatp subscriber id corrupt");
+    }
+    if (row.crc != row.ComputeCrc()) {
+      return DataLoss("tatp row torn (crc mismatch)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,58 @@
+// TATP-lite: the telecom benchmark's write transactions (from SFR, PLDI'18).
+// Single-row updates that commit immediately -- the workload the paper calls
+// out for its low NDP speedup (one logging operation per transaction leaves
+// no parallelism to exploit, Section 8.2.3).
+#ifndef SRC_WORKLOADS_TATP_H_
+#define SRC_WORKLOADS_TATP_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class TatpWorkload : public Workload {
+ public:
+  static constexpr std::uint64_t kSubscribers = 4096;
+  static constexpr std::uint64_t kRowsPerPage = kPmPageSize / 64;
+
+  // A row is self-consistent: `crc` covers the other fields, so a torn
+  // (half-updated) row is detectable without any cross-row bookkeeping --
+  // which keeps the transaction at exactly one log entry, the property that
+  // makes TATP the low-speedup outlier of Section 8.2.3.
+  struct alignas(64) SubscriberRow {
+    std::uint64_t s_id = 0;
+    std::uint64_t bit_flags = 0;
+    std::uint64_t hex_flags = 0;
+    std::uint64_t location = 0;
+    std::uint64_t vlr = 0;
+    std::uint64_t crc = 0;
+    std::uint8_t pad[16] = {};
+
+    std::uint64_t ComputeCrc() const;
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr pages[64] = {};
+  };
+
+  const char* name() const override { return "tatp"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status UpdateSubscriberData(ThreadId t, Rng& rng);
+  Status UpdateLocation(ThreadId t, Rng& rng);
+
+ private:
+  PmAddr RowAddr(const Root& root, std::uint64_t s_id) const {
+    return root.pages[s_id / kRowsPerPage] +
+           (s_id % kRowsPerPage) * sizeof(SubscriberRow);
+  }
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_TATP_H_

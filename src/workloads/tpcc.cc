@@ -1,0 +1,216 @@
+#include "src/workloads/tpcc.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace nearpm {
+namespace {
+
+constexpr std::uint64_t kTpccMagic = 0x54504343ULL;
+constexpr double kTxComputeNs = 16000.0;  // parsing, validation, client logic
+
+}  // namespace
+
+PmAddr TpccWorkload::CustomerAddr(const Root& root, std::uint64_t d,
+                                  std::uint64_t c) const {
+  const std::uint64_t row = d * kCustomersPerDistrict + c;
+  return root.customer_pages[row / kRowsPerPage] +
+         (row % kRowsPerPage) * sizeof(CustomerRow);
+}
+
+PmAddr TpccWorkload::StockAddr(const Root& root, std::uint64_t item) const {
+  return root.stock_pages[item / kRowsPerPage] +
+         (item % kRowsPerPage) * sizeof(StockRow);
+}
+
+Status TpccWorkload::Setup(Runtime& rt, PoolArena& arena,
+                           const WorkloadConfig& config) {
+  config_ = config;
+  NEARPM_RETURN_IF_ERROR(MakeHeap(rt, arena, config, config.threads));
+  PersistentHeap& h = heap();
+  // Initialize each table page with one whole-page write (a single log slot
+  // per page, as loading with large tx_add_ranges would in PMDK).
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(0));
+  Root root;
+  root.magic = kTpccMagic;
+  NEARPM_ASSIGN_OR_RETURN(w, h.Alloc(0, kPmPageSize));
+  root.warehouse = w;
+  std::vector<std::uint8_t> page_buf(kPmPageSize, 0);
+  auto fill_rows = [&page_buf](const auto& row, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::memcpy(page_buf.data() + i * sizeof(row), &row, sizeof(row));
+    }
+  };
+  fill_rows(WarehouseRow{}, 1);
+  NEARPM_RETURN_IF_ERROR(h.Write(0, w, page_buf));
+  NEARPM_ASSIGN_OR_RETURN(d, h.Alloc(0, kPmPageSize));
+  root.districts = d;
+  fill_rows(DistrictRow{}, kDistricts);
+  NEARPM_RETURN_IF_ERROR(h.Write(0, d, page_buf));
+  const std::uint64_t customer_rows = kDistricts * kCustomersPerDistrict;
+  fill_rows(CustomerRow{}, kRowsPerPage);
+  for (std::uint64_t p = 0; p * kRowsPerPage < customer_rows; ++p) {
+    NEARPM_ASSIGN_OR_RETURN(page, h.Alloc(0, kPmPageSize));
+    root.customer_pages[p] = page;
+    NEARPM_RETURN_IF_ERROR(h.Write(0, page, page_buf));
+  }
+  fill_rows(StockRow{}, kRowsPerPage);
+  for (std::uint64_t p = 0; p * kRowsPerPage < kItems; ++p) {
+    NEARPM_ASSIGN_OR_RETURN(page, h.Alloc(0, kPmPageSize));
+    root.stock_pages[p] = page;
+    NEARPM_RETURN_IF_ERROR(h.Write(0, page, page_buf));
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(0, h.root(), root));
+  return h.CommitOp(0);
+}
+
+Status TpccWorkload::RunOp(ThreadId t, Rng& rng) {
+  heap().rt().Compute(t, kTxComputeNs);
+  // Standard-ish mix, collapsed to the two write transactions.
+  if (rng.NextBool(0.51)) {
+    return NewOrder(t, rng);
+  }
+  return Payment(t, rng);
+}
+
+Status TpccWorkload::NewOrder(ThreadId t, Rng& rng) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  const std::uint64_t d_id = rng.NextBounded(kDistricts);
+  const PmAddr d_addr = root.districts + d_id * sizeof(DistrictRow);
+  NEARPM_ASSIGN_OR_RETURN(district, h.Load<DistrictRow>(t, d_addr));
+
+  NEARPM_ASSIGN_OR_RETURN(order_addr, h.Alloc(t, sizeof(OrderRow)));
+  OrderRow order;
+  order.o_id = district.next_o_id;
+  order.d_id = d_id;
+  order.c_id = rng.NextBounded(kCustomersPerDistrict);
+  order.n_lines = 5 + rng.NextBounded(kMaxOrderLines - 5 + 1);
+  order.prev = district.order_head;
+
+  // Pick distinct items for the lines.
+  for (std::uint64_t l = 0; l < order.n_lines; ++l) {
+    order.lines[l].item = (rng.NextBounded(kItems / kMaxOrderLines) *
+                               kMaxOrderLines +
+                           l) %
+                          kItems;
+    order.lines[l].qty = 1 + rng.NextBounded(10);
+    const PmAddr s_addr = StockAddr(root, order.lines[l].item);
+    NEARPM_ASSIGN_OR_RETURN(stock, h.Load<StockRow>(t, s_addr));
+    stock.quantity -= static_cast<std::int64_t>(order.lines[l].qty);
+    if (stock.quantity < 10) {
+      stock.quantity += 91;  // TPCC replenishment rule
+    }
+    stock.s_ytd += order.lines[l].qty;
+    stock.order_cnt += 1;
+    NEARPM_RETURN_IF_ERROR(h.Store(t, s_addr, stock));
+  }
+  NEARPM_RETURN_IF_ERROR(h.Store(t, order_addr, order));
+
+  district.next_o_id += 1;
+  district.order_head = order_addr;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, d_addr, district));
+  return h.CommitOp(t);
+}
+
+Status TpccWorkload::Payment(ThreadId t, Rng& rng) {
+  PersistentHeap& h = heap();
+  NEARPM_RETURN_IF_ERROR(h.BeginOp(t));
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(t, h.root()));
+  const std::uint64_t d_id = rng.NextBounded(kDistricts);
+  const std::uint64_t c_id = rng.NextBounded(kCustomersPerDistrict);
+  const std::uint64_t amount = 1 + rng.NextBounded(5000);
+
+  NEARPM_ASSIGN_OR_RETURN(wh, h.Load<WarehouseRow>(t, root.warehouse));
+  wh.ytd += amount;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, root.warehouse, wh));
+
+  const PmAddr d_addr = root.districts + d_id * sizeof(DistrictRow);
+  NEARPM_ASSIGN_OR_RETURN(district, h.Load<DistrictRow>(t, d_addr));
+  district.ytd += amount;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, d_addr, district));
+
+  const PmAddr c_addr = CustomerAddr(root, d_id, c_id);
+  NEARPM_ASSIGN_OR_RETURN(customer, h.Load<CustomerRow>(t, c_addr));
+  customer.balance -= static_cast<std::int64_t>(amount);
+  customer.payments += 1;
+  customer.ytd += amount;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, c_addr, customer));
+
+  root.total_payments += 1;
+  NEARPM_RETURN_IF_ERROR(h.Store(t, h.root(), root));
+  return h.CommitOp(t);
+}
+
+Status TpccWorkload::Verify() {
+  PersistentHeap& h = heap();
+  NEARPM_ASSIGN_OR_RETURN(root, h.Load<Root>(0, h.root()));
+  if (root.magic != kTpccMagic) {
+    return DataLoss("tpcc root magic corrupt");
+  }
+  // Payment atomicity: warehouse YTD equals the sum of district YTDs, and
+  // equals the sum of customer YTDs.
+  NEARPM_ASSIGN_OR_RETURN(wh, h.Load<WarehouseRow>(0, root.warehouse));
+  std::uint64_t district_ytd = 0;
+  std::uint64_t payments = 0;
+  std::uint64_t customer_ytd = 0;
+  for (std::uint64_t d = 0; d < kDistricts; ++d) {
+    NEARPM_ASSIGN_OR_RETURN(
+        district,
+        h.Load<DistrictRow>(0, root.districts + d * sizeof(DistrictRow)));
+    district_ytd += district.ytd;
+    for (std::uint64_t c = 0; c < kCustomersPerDistrict; ++c) {
+      NEARPM_ASSIGN_OR_RETURN(customer,
+                              h.Load<CustomerRow>(0, CustomerAddr(root, d, c)));
+      payments += customer.payments;
+      customer_ytd += customer.ytd;
+    }
+  }
+  if (wh.ytd != district_ytd || wh.ytd != customer_ytd) {
+    return DataLoss("tpcc payment atomicity violated");
+  }
+  if (payments != root.total_payments) {
+    return DataLoss("tpcc payment count mismatch");
+  }
+  // NewOrder atomicity: per district, the order list length matches
+  // next_o_id, ids descend contiguously, and the per-item stock s_ytd equals
+  // the quantities recorded in order lines.
+  std::unordered_map<std::uint64_t, std::uint64_t> item_qty;
+  for (std::uint64_t d = 0; d < kDistricts; ++d) {
+    NEARPM_ASSIGN_OR_RETURN(
+        district,
+        h.Load<DistrictRow>(0, root.districts + d * sizeof(DistrictRow)));
+    std::uint64_t expect_id = district.next_o_id - 1;
+    PmAddr cur = district.order_head;
+    while (cur != 0) {
+      NEARPM_ASSIGN_OR_RETURN(order, h.Load<OrderRow>(0, cur));
+      if (order.o_id != expect_id || order.d_id != d) {
+        return DataLoss("tpcc order chain corrupt");
+      }
+      if (order.n_lines < 5 || order.n_lines > kMaxOrderLines) {
+        return DataLoss("tpcc order line count invalid");
+      }
+      for (std::uint64_t l = 0; l < order.n_lines; ++l) {
+        item_qty[order.lines[l].item] += order.lines[l].qty;
+      }
+      --expect_id;
+      cur = order.prev;
+    }
+    if (expect_id != 0) {
+      return DataLoss("tpcc order list truncated");
+    }
+  }
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    NEARPM_ASSIGN_OR_RETURN(stock, h.Load<StockRow>(0, StockAddr(root, i)));
+    const auto it = item_qty.find(i);
+    const std::uint64_t expect = it == item_qty.end() ? 0 : it->second;
+    if (stock.s_ytd != expect) {
+      return DataLoss("tpcc stock ytd mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace nearpm

@@ -1,0 +1,82 @@
+// TPCC-lite: the OLTP transaction workload of Gogte et al. (SFR / PLDI'18),
+// scaled to a single warehouse. NewOrder and Payment transactions over
+// persistent Warehouse/District/Customer/Stock tables plus an order log.
+#ifndef SRC_WORKLOADS_TPCC_H_
+#define SRC_WORKLOADS_TPCC_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+
+class TpccWorkload : public Workload {
+ public:
+  static constexpr std::uint64_t kDistricts = 10;
+  static constexpr std::uint64_t kCustomersPerDistrict = 16;
+  static constexpr std::uint64_t kItems = 256;
+  static constexpr std::uint64_t kMaxOrderLines = 15;
+  static constexpr std::uint64_t kRowsPerPage = kPmPageSize / 64;
+
+  struct alignas(64) WarehouseRow {
+    std::uint64_t ytd = 0;
+    std::uint8_t pad[56] = {};
+  };
+  struct alignas(64) DistrictRow {
+    std::uint64_t next_o_id = 1;
+    std::uint64_t ytd = 0;
+    PmAddr order_head = 0;  // newest order (linked by OrderRow::prev)
+    std::uint8_t pad[40] = {};
+  };
+  struct alignas(64) CustomerRow {
+    std::int64_t balance = 0;
+    std::uint64_t payments = 0;
+    std::uint64_t ytd = 0;
+    std::uint8_t pad[40] = {};
+  };
+  struct alignas(64) StockRow {
+    std::int64_t quantity = 100;
+    std::uint64_t s_ytd = 0;
+    std::uint64_t order_cnt = 0;
+    std::uint8_t pad[40] = {};
+  };
+  struct OrderLine {
+    std::uint64_t item = 0;
+    std::uint64_t qty = 0;
+  };
+  struct OrderRow {
+    std::uint64_t o_id = 0;
+    std::uint64_t d_id = 0;
+    std::uint64_t c_id = 0;
+    std::uint64_t n_lines = 0;
+    PmAddr prev = 0;
+    OrderLine lines[kMaxOrderLines] = {};
+  };
+
+  struct Root {
+    std::uint64_t magic = 0;
+    PmAddr warehouse = 0;
+    PmAddr districts = 0;        // one page: kDistricts rows
+    PmAddr customer_pages[3] = {};
+    PmAddr stock_pages[4] = {};
+    std::uint64_t total_payments = 0;
+  };
+
+  const char* name() const override { return "tpcc"; }
+  Status Setup(Runtime& rt, PoolArena& arena,
+               const WorkloadConfig& config) override;
+  Status RunOp(ThreadId t, Rng& rng) override;
+  Status Verify() override;
+
+  Status NewOrder(ThreadId t, Rng& rng);
+  Status Payment(ThreadId t, Rng& rng);
+
+ private:
+  PmAddr CustomerAddr(const Root& root, std::uint64_t d,
+                      std::uint64_t c) const;
+  PmAddr StockAddr(const Root& root, std::uint64_t item) const;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_TPCC_H_

@@ -1,0 +1,55 @@
+#include "src/workloads/ycsb.h"
+
+#include <cmath>
+
+namespace nearpm {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta) {
+  zetan_ = 0.0;
+  for (std::uint64_t i = 1; i <= num_keys_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::Next(Rng& rng) const {
+  // Gray et al.'s quick zipfian sampling as used by YCSB.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double x = static_cast<double>(num_keys_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t k = static_cast<std::uint64_t>(x);
+  return k >= num_keys_ ? num_keys_ - 1 : k;
+}
+
+YcsbWorkloadGen::YcsbWorkloadGen(std::uint64_t num_keys, Mix mix, bool zipfian)
+    : zipf_(num_keys),
+      mix_(mix),
+      zipfian_(zipfian),
+      next_insert_key_(num_keys) {}
+
+YcsbOp YcsbWorkloadGen::Next(Rng& rng) {
+  YcsbOp op;
+  const double r = rng.NextDouble();
+  if (r < mix_.insert) {
+    op.kind = YcsbOp::Kind::kInsert;
+    op.key = next_insert_key_++;
+    return op;
+  }
+  op.kind = r < mix_.insert + mix_.update ? YcsbOp::Kind::kUpdate
+                                          : YcsbOp::Kind::kRead;
+  op.key = zipfian_ ? zipf_.Next(rng) : rng.NextBounded(zipf_.num_keys());
+  return op;
+}
+
+}  // namespace nearpm

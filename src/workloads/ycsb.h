@@ -1,0 +1,58 @@
+// YCSB-style key generator: zipfian-skewed or uniform key popularity over a
+// fixed keyspace, used to drive the memcached and redis workloads with the
+// paper's "100% write requests from YCSB" configuration.
+#ifndef SRC_WORKLOADS_YCSB_H_
+#define SRC_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace nearpm {
+
+class ZipfianGenerator {
+ public:
+  // Standard YCSB zipfian with exponent `theta` (default 0.99) over
+  // [0, num_keys).
+  explicit ZipfianGenerator(std::uint64_t num_keys, double theta = 0.99);
+
+  std::uint64_t Next(Rng& rng) const;
+  std::uint64_t num_keys() const { return num_keys_; }
+
+ private:
+  std::uint64_t num_keys_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+struct YcsbOp {
+  enum class Kind : std::uint8_t { kInsert, kUpdate, kRead };
+  Kind kind = Kind::kUpdate;
+  std::uint64_t key = 0;
+};
+
+class YcsbWorkloadGen {
+ public:
+  struct Mix {
+    double insert = 0.0;
+    double update = 1.0;  // paper: 100% write
+    double read = 0.0;
+  };
+
+  YcsbWorkloadGen(std::uint64_t num_keys, Mix mix, bool zipfian = true);
+
+  YcsbOp Next(Rng& rng);
+
+ private:
+  ZipfianGenerator zipf_;
+  Mix mix_;
+  bool zipfian_;
+  std::uint64_t next_insert_key_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_WORKLOADS_YCSB_H_

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace nearpm {
+namespace {
+
+TEST(TypesTest, AlignHelpers) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignDown(0, 64), 0u);
+  EXPECT_EQ(AlignDown(63, 64), 0u);
+  EXPECT_EQ(AlignDown(64, 64), 64u);
+  EXPECT_EQ(AlignDown(127, 64), 64u);
+}
+
+TEST(TypesTest, AddrRangeOverlap) {
+  const AddrRange a{100, 200};
+  EXPECT_TRUE(a.Overlaps({150, 160}));
+  EXPECT_TRUE(a.Overlaps({0, 101}));
+  EXPECT_TRUE(a.Overlaps({199, 300}));
+  EXPECT_FALSE(a.Overlaps({200, 300}));
+  EXPECT_FALSE(a.Overlaps({0, 100}));
+  EXPECT_FALSE(a.Overlaps({150, 150}));  // empty range
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_TRUE(a.Contains(100));
+  EXPECT_FALSE(a.Contains(200));
+}
+
+TEST(TypesTest, EmptyRangeBehaviour) {
+  const AddrRange empty{50, 50};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_FALSE(empty.Overlaps({0, 100}));
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFound("missing pool");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing pool");
+}
+
+TEST(StatusTest, StatusOrValueAndError) {
+  StatusOr<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  StatusOr<int> err(InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 10; ++i) {
+    differ += a.Next() != b.Next();
+  }
+  EXPECT_GT(differ, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(11);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    trues += rng.NextBool(0.3);
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(RunningStatTest, MeanAndStddev) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.9));
+  EXPECT_LE(h.Percentile(0.9), h.Percentile(0.99));
+  EXPECT_GE(h.Percentile(0.99), 512u);
+}
+
+TEST(GeoMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(GeoMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nearpm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/timeline.h"
+
+namespace nearpm {
+namespace {
+
+TEST(TimelineTest, SchedulesBackToBack) {
+  Timeline tl;
+  EXPECT_EQ(tl.Schedule(0, 100.0), 100u);
+  EXPECT_EQ(tl.Schedule(0, 50.0), 150u);  // queued behind the first
+  EXPECT_EQ(tl.free_at(), 150u);
+}
+
+TEST(TimelineTest, RespectsEarliest) {
+  Timeline tl;
+  EXPECT_EQ(tl.Schedule(1000, 10.0), 1010u);
+  EXPECT_EQ(tl.Schedule(0, 10.0), 1020u);
+}
+
+TEST(TimelineTest, Reset) {
+  Timeline tl;
+  tl.Schedule(0, 500.0);
+  tl.Reset();
+  EXPECT_EQ(tl.free_at(), 0u);
+}
+
+TEST(UnitPoolTest, ParallelUnitsOverlap) {
+  UnitPool pool(4);
+  // Four equal jobs run in parallel on four units.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(pool.Schedule(0, 100.0), 100u);
+  }
+  // The fifth queues behind one of them.
+  EXPECT_EQ(pool.Schedule(0, 100.0), 200u);
+  EXPECT_EQ(pool.AllIdleAt(), 200u);
+}
+
+TEST(UnitPoolTest, PicksEarliestAvailableUnit) {
+  UnitPool pool(2);
+  pool.Schedule(0, 100.0);   // unit A busy until 100
+  pool.Schedule(0, 500.0);   // unit B busy until 500
+  EXPECT_EQ(pool.Schedule(0, 10.0), 110u);  // lands on A
+}
+
+TEST(UnitPoolTest, SingleUnitSerializes) {
+  UnitPool pool(1);
+  pool.Schedule(0, 100.0);
+  pool.Schedule(0, 100.0);
+  EXPECT_EQ(pool.AllIdleAt(), 200u);
+}
+
+TEST(CostModelTest, LinesRoundsUp) {
+  EXPECT_EQ(CostModel::Lines(0), 0u);
+  EXPECT_EQ(CostModel::Lines(1), 1u);
+  EXPECT_EQ(CostModel::Lines(64), 1u);
+  EXPECT_EQ(CostModel::Lines(65), 2u);
+  EXPECT_EQ(CostModel::Lines(4096), 64u);
+}
+
+TEST(CostModelTest, CopyCostsGrowWithSize) {
+  const CostModel cost;
+  EXPECT_LT(cost.CpuCopyNs(64), cost.CpuCopyNs(4096));
+  EXPECT_LT(cost.NdpCopyNs(64), cost.NdpCopyNs(4096));
+}
+
+// The Figure 17 calibration targets: NDP copy wins modestly at 64 B and by
+// roughly 5-6x at 16 kB. The NDP-side figure includes the command path.
+TEST(CostModelTest, Figure17EndpointsCalibrated) {
+  const CostModel cost;
+  const double issue = cost.cmd_post_ns + cost.cmd_device_pipeline_ns;
+  const double small = cost.CpuCopyNs(64) / (issue + cost.NdpCopyNs(64));
+  const double large =
+      cost.CpuCopyNs(16384) / (issue + cost.NdpCopyNs(16384));
+  EXPECT_GT(small, 1.0);
+  EXPECT_LT(small, 1.5);
+  EXPECT_GT(large, 4.5);
+  EXPECT_LT(large, 6.5);
+}
+
+TEST(CostModelTest, PersistCostScalesWithLines) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.CpuPersistNs(64),
+                   cost.cpu_flush_line_ns + cost.cpu_drain_ns);
+  EXPECT_DOUBLE_EQ(cost.CpuPersistNs(128),
+                   2 * cost.cpu_flush_line_ns + cost.cpu_drain_ns);
+  // clwbs overlap: persisting a page costs far less than line-serial flushes.
+  EXPECT_LT(cost.CpuPersistNs(4096), 64 * 60.0);
+}
+
+TEST(NsToTimeTest, Rounds) {
+  EXPECT_EQ(NsToTime(1.4), 1u);
+  EXPECT_EQ(NsToTime(1.6), 2u);
+  EXPECT_EQ(NsToTime(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace nearpm

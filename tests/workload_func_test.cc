@@ -1,0 +1,245 @@
+// Functional correctness of the workload data structures against in-memory
+// reference models: after any operation sequence, the persistent structure
+// must contain exactly the reference's key set with the right values.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/workloads/btree.h"
+#include "src/workloads/hashmap.h"
+#include "src/workloads/kvserver.h"
+#include "src/workloads/tatp.h"
+#include "src/workloads/tpcc.h"
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+namespace {
+
+RuntimeOptions Opts() {
+  RuntimeOptions o;
+  o.mode = ExecMode::kNdpMultiDelayed;
+  o.pm_size = 256ull << 20;
+  return o;
+}
+
+WorkloadConfig Config(Mechanism mech, std::uint64_t initial = 0) {
+  WorkloadConfig c;
+  c.mechanism = mech;
+  c.data_size = 8ull << 20;
+  c.initial_keys = initial;
+  c.seed = 5;
+  return c;
+}
+
+TEST(BTreeFunctionalTest, MatchesReferenceModel) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  BTreeWorkload tree;
+  ASSERT_TRUE(tree.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+
+  std::set<std::uint64_t> reference;
+  Rng rng(17);
+  for (int i = 0; i < 800; ++i) {
+    const std::uint64_t key = rng.NextBounded(500);  // plenty of duplicates
+    ASSERT_TRUE(tree.Insert(0, key).ok());
+    reference.insert(key);
+  }
+  rt.DrainDevices(0);
+  ASSERT_TRUE(tree.Verify().ok());
+
+  // Every reference key is found with the right value; absent keys are not.
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    Value64 value;
+    auto found = tree.Lookup(0, key, &value);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, reference.contains(key)) << "key " << key;
+    if (*found) {
+      const Value64 expect = ValueForKey(key);
+      EXPECT_EQ(0, std::memcmp(value.bytes, expect.bytes, kValueSize));
+    }
+  }
+  // The tree's count bookkeeping equals the reference size.
+  auto root = tree.heap().Load<BTreeWorkload::Root>(0, tree.heap().root());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->count, reference.size());
+}
+
+TEST(BTreeFunctionalTest, SequentialAndReverseInsertions) {
+  for (bool reverse : {false, true}) {
+    Runtime rt(Opts());
+    PoolArena arena;
+    BTreeWorkload tree;
+    ASSERT_TRUE(tree.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t key = reverse ? 300 - i : i + 1;
+      ASSERT_TRUE(tree.Insert(0, key).ok());
+    }
+    rt.DrainDevices(0);
+    EXPECT_TRUE(tree.Verify().ok()) << (reverse ? "reverse" : "sequential");
+    auto root = tree.heap().Load<BTreeWorkload::Root>(0, tree.heap().root());
+    EXPECT_EQ(root->count, 300u);
+  }
+}
+
+TEST(HashMapFunctionalTest, CountsDistinctKeys) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  HashMapWorkload map;
+  ASSERT_TRUE(map.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+
+  std::set<std::uint64_t> reference;
+  Rng rng(23);
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t key = rng.NextBounded(300);
+    ASSERT_TRUE(map.Put(0, key).ok());
+    reference.insert(key);
+  }
+  rt.DrainDevices(0);
+  ASSERT_TRUE(map.Verify().ok());
+  auto root = map.heap().Load<HashMapWorkload::Root>(0, map.heap().root());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->count, reference.size());
+}
+
+TEST(HashMapFunctionalTest, HashIsStable) {
+  // The bucket function must be deterministic across calls (persistent
+  // structures die otherwise).
+  for (std::uint64_t k : {0ull, 1ull, 12345ull, ~0ull}) {
+    EXPECT_EQ(HashMapWorkload::HashKey(k), HashMapWorkload::HashKey(k));
+  }
+  // And spread: a run of consecutive keys should not collide into one bucket.
+  std::set<std::uint64_t> buckets;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    buckets.insert(HashMapWorkload::HashKey(k) % HashMapWorkload::kBuckets);
+  }
+  EXPECT_GT(buckets.size(), 48u);
+}
+
+TEST(KvServerFunctionalTest, MemcachedPartitionsPools) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  KvServerWorkload server(/*shared_pool=*/false);
+  WorkloadConfig config = Config(Mechanism::kLogging, 10);
+  config.threads = 4;
+  ASSERT_TRUE(server.Setup(rt, arena, config).ok());
+  // Four independent pools were created.
+  Rng rng(31);
+  for (int op = 0; op < 100; ++op) {
+    ASSERT_TRUE(server.RunOp(static_cast<ThreadId>(op % 4), rng).ok());
+  }
+  rt.DrainDevices(0);
+  EXPECT_TRUE(server.Verify().ok());
+  EXPECT_NE(&server.heap(0), &server.heap(3));
+}
+
+TEST(KvServerFunctionalTest, RedisSharesOnePool) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  KvServerWorkload server(/*shared_pool=*/true);
+  WorkloadConfig config = Config(Mechanism::kLogging, 10);
+  config.threads = 4;
+  ASSERT_TRUE(server.Setup(rt, arena, config).ok());
+  Rng rng(31);
+  for (int op = 0; op < 100; ++op) {
+    ASSERT_TRUE(server.RunOp(static_cast<ThreadId>(op % 4), rng).ok());
+  }
+  for (int t = 0; t < 4; ++t) {
+    rt.DrainDevices(static_cast<ThreadId>(t));
+  }
+  EXPECT_TRUE(server.Verify().ok());
+}
+
+TEST(TpccFunctionalTest, PaymentMovesMoneyConsistently) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  TpccWorkload tpcc;
+  ASSERT_TRUE(tpcc.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tpcc.Payment(0, rng).ok());
+  }
+  rt.DrainDevices(0);
+  EXPECT_TRUE(tpcc.Verify().ok());
+  auto root = tpcc.heap().Load<TpccWorkload::Root>(0, tpcc.heap().root());
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->total_payments, 50u);
+  auto wh =
+      tpcc.heap().Load<TpccWorkload::WarehouseRow>(0, root->warehouse);
+  ASSERT_TRUE(wh.ok());
+  EXPECT_GT(wh->ytd, 0u);
+}
+
+TEST(TpccFunctionalTest, NewOrderAdvancesDistricts) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  TpccWorkload tpcc;
+  ASSERT_TRUE(tpcc.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+  Rng rng(43);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(tpcc.NewOrder(0, rng).ok());
+  }
+  rt.DrainDevices(0);
+  EXPECT_TRUE(tpcc.Verify().ok());
+  // 60 orders distributed over the districts.
+  auto root = tpcc.heap().Load<TpccWorkload::Root>(0, tpcc.heap().root());
+  std::uint64_t orders = 0;
+  for (std::uint64_t d = 0; d < TpccWorkload::kDistricts; ++d) {
+    auto district = tpcc.heap().Load<TpccWorkload::DistrictRow>(
+        0, root->districts + d * sizeof(TpccWorkload::DistrictRow));
+    ASSERT_TRUE(district.ok());
+    orders += district->next_o_id - 1;
+  }
+  EXPECT_EQ(orders, 60u);
+}
+
+TEST(TatpFunctionalTest, RowCrcDetectsTorn) {
+  TatpWorkload::SubscriberRow row;
+  row.s_id = 7;
+  row.location = 1234;
+  row.crc = row.ComputeCrc();
+  EXPECT_EQ(row.crc, row.ComputeCrc());
+  row.location = 9999;  // torn: field changed, crc stale
+  EXPECT_NE(row.crc, row.ComputeCrc());
+}
+
+TEST(TatpFunctionalTest, UpdatesKeepRowsSelfConsistent) {
+  Runtime rt(Opts());
+  PoolArena arena;
+  TatpWorkload tatp;
+  ASSERT_TRUE(tatp.Setup(rt, arena, Config(Mechanism::kLogging)).ok());
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tatp.RunOp(0, rng).ok());
+  }
+  rt.DrainDevices(0);
+  EXPECT_TRUE(tatp.Verify().ok());
+}
+
+TEST(WorkloadSeedTest, SameSeedSameStructure) {
+  // Determinism: two runs with identical seeds build identical trees.
+  auto run = [](std::uint64_t* count_out) {
+    Runtime rt(Opts());
+    PoolArena arena;
+    BTreeWorkload tree;
+    WorkloadConfig c = Config(Mechanism::kLogging, 100);
+    EXPECT_TRUE(tree.Setup(rt, arena, c).ok());
+    Rng rng(99);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(tree.RunOp(0, rng).ok());
+    }
+    auto root = tree.heap().Load<BTreeWorkload::Root>(0, tree.heap().root());
+    *count_out = root->count;
+  };
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  run(&a);
+  run(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+}  // namespace
+}  // namespace nearpm
