@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ppo.dir/bench_ablation_ppo.cc.o"
+  "CMakeFiles/bench_ablation_ppo.dir/bench_ablation_ppo.cc.o.d"
+  "bench_ablation_ppo"
+  "bench_ablation_ppo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_microcopy.dir/bench_fig17_microcopy.cc.o"
+  "CMakeFiles/bench_fig17_microcopy.dir/bench_fig17_microcopy.cc.o.d"
+  "bench_fig17_microcopy"
+  "bench_fig17_microcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_microcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig20_threads.cc" "bench/CMakeFiles/bench_fig20_threads.dir/bench_fig20_threads.cc.o" "gcc" "bench/CMakeFiles/bench_fig20_threads.dir/bench_fig20_threads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/nearpm_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nearpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmlib/CMakeFiles/nearpm_pmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nearpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/nearpm_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

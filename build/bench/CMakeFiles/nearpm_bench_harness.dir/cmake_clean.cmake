@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/nearpm_bench_harness.dir/harness.cc.o.d"
+  "libnearpm_bench_harness.a"
+  "libnearpm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_crash_recovery.dir/kvstore_crash_recovery.cpp.o"
+  "CMakeFiles/kvstore_crash_recovery.dir/kvstore_crash_recovery.cpp.o.d"
+  "kvstore_crash_recovery"
+  "kvstore_crash_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_crash_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

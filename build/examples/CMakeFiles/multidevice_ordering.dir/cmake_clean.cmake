@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidevice_ordering.dir/multidevice_ordering.cpp.o"
+  "CMakeFiles/multidevice_ordering.dir/multidevice_ordering.cpp.o.d"
+  "multidevice_ordering"
+  "multidevice_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidevice_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

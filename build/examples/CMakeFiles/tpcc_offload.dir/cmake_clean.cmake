@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_offload.dir/tpcc_offload.cpp.o"
+  "CMakeFiles/tpcc_offload.dir/tpcc_offload.cpp.o.d"
+  "tpcc_offload"
+  "tpcc_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_common.dir/stats.cc.o"
+  "CMakeFiles/nearpm_common.dir/stats.cc.o.d"
+  "CMakeFiles/nearpm_common.dir/status.cc.o"
+  "CMakeFiles/nearpm_common.dir/status.cc.o.d"
+  "libnearpm_common.a"
+  "libnearpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

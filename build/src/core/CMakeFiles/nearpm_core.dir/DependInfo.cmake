@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cc_stats.cc" "src/core/CMakeFiles/nearpm_core.dir/cc_stats.cc.o" "gcc" "src/core/CMakeFiles/nearpm_core.dir/cc_stats.cc.o.d"
+  "/root/repo/src/core/log_layout.cc" "src/core/CMakeFiles/nearpm_core.dir/log_layout.cc.o" "gcc" "src/core/CMakeFiles/nearpm_core.dir/log_layout.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/nearpm_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/nearpm_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/nearpm_ndp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

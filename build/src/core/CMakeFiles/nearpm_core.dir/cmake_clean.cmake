@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_core.dir/cc_stats.cc.o"
+  "CMakeFiles/nearpm_core.dir/cc_stats.cc.o.d"
+  "CMakeFiles/nearpm_core.dir/log_layout.cc.o"
+  "CMakeFiles/nearpm_core.dir/log_layout.cc.o.d"
+  "CMakeFiles/nearpm_core.dir/runtime.cc.o"
+  "CMakeFiles/nearpm_core.dir/runtime.cc.o.d"
+  "libnearpm_core.a"
+  "libnearpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

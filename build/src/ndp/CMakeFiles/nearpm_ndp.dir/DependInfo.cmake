@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndp/address_map.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/address_map.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/address_map.cc.o.d"
+  "/root/repo/src/ndp/device.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/device.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/device.cc.o.d"
+  "/root/repo/src/ndp/inflight_table.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/inflight_table.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/inflight_table.cc.o.d"
+  "/root/repo/src/ndp/recovery_journal.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/recovery_journal.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/recovery_journal.cc.o.d"
+  "/root/repo/src/ndp/request.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/request.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/request.cc.o.d"
+  "/root/repo/src/ndp/sync_machine.cc" "src/ndp/CMakeFiles/nearpm_ndp.dir/sync_machine.cc.o" "gcc" "src/ndp/CMakeFiles/nearpm_ndp.dir/sync_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

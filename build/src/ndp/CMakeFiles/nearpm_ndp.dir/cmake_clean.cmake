@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_ndp.dir/address_map.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/address_map.cc.o.d"
+  "CMakeFiles/nearpm_ndp.dir/device.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/device.cc.o.d"
+  "CMakeFiles/nearpm_ndp.dir/inflight_table.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/inflight_table.cc.o.d"
+  "CMakeFiles/nearpm_ndp.dir/recovery_journal.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/recovery_journal.cc.o.d"
+  "CMakeFiles/nearpm_ndp.dir/request.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/request.cc.o.d"
+  "CMakeFiles/nearpm_ndp.dir/sync_machine.cc.o"
+  "CMakeFiles/nearpm_ndp.dir/sync_machine.cc.o.d"
+  "libnearpm_ndp.a"
+  "libnearpm_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnearpm_ndp.a"
+)

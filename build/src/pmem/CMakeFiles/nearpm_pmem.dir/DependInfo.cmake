@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/interleave.cc" "src/pmem/CMakeFiles/nearpm_pmem.dir/interleave.cc.o" "gcc" "src/pmem/CMakeFiles/nearpm_pmem.dir/interleave.cc.o.d"
+  "/root/repo/src/pmem/pm_space.cc" "src/pmem/CMakeFiles/nearpm_pmem.dir/pm_space.cc.o" "gcc" "src/pmem/CMakeFiles/nearpm_pmem.dir/pm_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_pmem.dir/interleave.cc.o"
+  "CMakeFiles/nearpm_pmem.dir/interleave.cc.o.d"
+  "CMakeFiles/nearpm_pmem.dir/pm_space.cc.o"
+  "CMakeFiles/nearpm_pmem.dir/pm_space.cc.o.d"
+  "libnearpm_pmem.a"
+  "libnearpm_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmlib/alloc.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/alloc.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/alloc.cc.o.d"
+  "/root/repo/src/pmlib/ckpt_provider.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/ckpt_provider.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/ckpt_provider.cc.o.d"
+  "/root/repo/src/pmlib/heap.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/heap.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/heap.cc.o.d"
+  "/root/repo/src/pmlib/pool.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/pool.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/pool.cc.o.d"
+  "/root/repo/src/pmlib/redo_provider.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/redo_provider.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/redo_provider.cc.o.d"
+  "/root/repo/src/pmlib/shadow_provider.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/shadow_provider.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/shadow_provider.cc.o.d"
+  "/root/repo/src/pmlib/undo_provider.cc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/undo_provider.cc.o" "gcc" "src/pmlib/CMakeFiles/nearpm_pmlib.dir/undo_provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nearpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/nearpm_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_pmlib.dir/alloc.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/alloc.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/ckpt_provider.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/ckpt_provider.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/heap.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/heap.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/pool.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/pool.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/redo_provider.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/redo_provider.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/shadow_provider.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/shadow_provider.cc.o.d"
+  "CMakeFiles/nearpm_pmlib.dir/undo_provider.cc.o"
+  "CMakeFiles/nearpm_pmlib.dir/undo_provider.cc.o.d"
+  "libnearpm_pmlib.a"
+  "libnearpm_pmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_pmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_sim.dir/cost_model.cc.o"
+  "CMakeFiles/nearpm_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/nearpm_sim.dir/timeline.cc.o"
+  "CMakeFiles/nearpm_sim.dir/timeline.cc.o.d"
+  "libnearpm_sim.a"
+  "libnearpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

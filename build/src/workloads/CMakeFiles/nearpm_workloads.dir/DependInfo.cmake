@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bplustree.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/bplustree.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/bplustree.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/btree.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/btree.cc.o.d"
+  "/root/repo/src/workloads/hashmap.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/hashmap.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/hashmap.cc.o.d"
+  "/root/repo/src/workloads/kvserver.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/kvserver.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/kvserver.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/skiplist.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/skiplist.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/skiplist.cc.o.d"
+  "/root/repo/src/workloads/tatp.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/tatp.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/tatp.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/tpcc.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/tpcc.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/workloads/CMakeFiles/nearpm_workloads.dir/ycsb.cc.o" "gcc" "src/workloads/CMakeFiles/nearpm_workloads.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmlib/CMakeFiles/nearpm_pmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nearpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/nearpm_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

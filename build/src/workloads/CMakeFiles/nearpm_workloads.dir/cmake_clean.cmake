@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_workloads.dir/bplustree.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/bplustree.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/btree.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/btree.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/hashmap.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/hashmap.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/kvserver.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/kvserver.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/registry.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/skiplist.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/skiplist.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/tatp.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/tatp.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/nearpm_workloads.dir/ycsb.cc.o"
+  "CMakeFiles/nearpm_workloads.dir/ycsb.cc.o.d"
+  "libnearpm_workloads.a"
+  "libnearpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/nearpm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crash_property_test.cc" "tests/CMakeFiles/nearpm_tests.dir/crash_property_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/crash_property_test.cc.o.d"
+  "/root/repo/tests/multidevice_test.cc" "tests/CMakeFiles/nearpm_tests.dir/multidevice_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/multidevice_test.cc.o.d"
+  "/root/repo/tests/ndp_test.cc" "tests/CMakeFiles/nearpm_tests.dir/ndp_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/ndp_test.cc.o.d"
+  "/root/repo/tests/pmem_test.cc" "tests/CMakeFiles/nearpm_tests.dir/pmem_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/pmem_test.cc.o.d"
+  "/root/repo/tests/pmlib_test.cc" "tests/CMakeFiles/nearpm_tests.dir/pmlib_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/pmlib_test.cc.o.d"
+  "/root/repo/tests/ppo_invariant_test.cc" "tests/CMakeFiles/nearpm_tests.dir/ppo_invariant_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/ppo_invariant_test.cc.o.d"
+  "/root/repo/tests/provider_edge_test.cc" "tests/CMakeFiles/nearpm_tests.dir/provider_edge_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/provider_edge_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/nearpm_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/nearpm_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/workload_func_test.cc" "tests/CMakeFiles/nearpm_tests.dir/workload_func_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/workload_func_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/nearpm_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/nearpm_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/nearpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmlib/CMakeFiles/nearpm_pmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nearpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndp/CMakeFiles/nearpm_ndp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/nearpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nearpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nearpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearpm_tests.dir/common_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/crash_property_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/crash_property_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/multidevice_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/multidevice_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/ndp_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/ndp_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/pmem_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/pmem_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/pmlib_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/pmlib_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/ppo_invariant_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/ppo_invariant_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/provider_edge_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/provider_edge_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/runtime_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/runtime_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/sim_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/workload_func_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/workload_func_test.cc.o.d"
+  "CMakeFiles/nearpm_tests.dir/workload_test.cc.o"
+  "CMakeFiles/nearpm_tests.dir/workload_test.cc.o.d"
+  "nearpm_tests"
+  "nearpm_tests.pdb"
+  "nearpm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearpm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
