@@ -35,6 +35,7 @@ double Speedup(const std::string& workload, const AblationConfig& ac) {
     opts.pm_size = 512ull << 20;
     opts.retain_crash_state = false;
     Runtime rt(opts);
+    AttachBenchTrace(rt);
     PoolArena arena;
     auto w = CreateWorkload(workload);
     WorkloadConfig config;
@@ -126,8 +127,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   nearpm::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nearpm::bench::BenchMain(argc, argv, "ablation_ppo");
 }

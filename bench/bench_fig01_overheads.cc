@@ -50,8 +50,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   nearpm::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return nearpm::bench::BenchMain(argc, argv, "fig01_overheads");
 }

@@ -4,6 +4,7 @@
 // -- the gain is pure proximity, there is no operation-level parallelism.
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "src/core/runtime.h"
 
 namespace nearpm {
@@ -15,6 +16,7 @@ double CopyTimeNs(ExecMode mode, std::uint64_t size) {
   opts.pm_size = 64ull << 20;
   opts.retain_crash_state = false;
   Runtime rt(opts);
+  bench::AttachBenchTrace(rt);
   auto pool = rt.RegisterPool(0, 32ull << 20);
   // Steady-state average over many back-to-back copies.
   constexpr int kReps = 64;
@@ -58,4 +60,6 @@ BENCHMARK(BM_Fig17)
 }  // namespace
 }  // namespace nearpm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return nearpm::bench::BenchMain(argc, argv, "fig17_microcopy");
+}

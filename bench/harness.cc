@@ -1,9 +1,14 @@
 #include "bench/harness.h"
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "src/common/stats.h"
+#include "src/trace/chrome_exporter.h"
 
 namespace nearpm {
 namespace bench {
@@ -30,6 +35,7 @@ RunResult RunWorkload(const RunConfig& config) {
   opts.pm_size = 512ull << 20;
   opts.retain_crash_state = false;  // pure-performance run
   Runtime rt(opts);
+  AttachBenchTrace(rt);
   PoolArena arena(0);
 
   auto workload = CreateWorkload(config.workload);
@@ -108,6 +114,77 @@ double MeanSpeedup(Mechanism mechanism, ExecMode mode, bool region_time,
     }
   }
   return GeoMean(ratios);
+}
+
+// ---- Shared entry point ------------------------------------------------------
+
+namespace {
+
+std::unique_ptr<TraceRecorder> g_bench_trace;
+
+}  // namespace
+
+TraceRecorder* BenchTrace() { return g_bench_trace.get(); }
+
+void AttachBenchTrace(Runtime& rt) {
+  if (g_bench_trace == nullptr) {
+    return;
+  }
+  rt.AttachTrace(g_bench_trace.get());
+  // This Runtime's virtual clocks start at zero; keep its timestamps from
+  // aliasing the previous run's.
+  g_bench_trace->NextEpoch();
+}
+
+int BenchMain(int argc, char** argv, const std::string& figure) {
+  std::string trace_out;
+  std::string json_out = "BENCH_" + figure + ".json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(sizeof("--trace-out=") - 1);
+    } else if (a.rfind("--json-out=", 0) == 0) {
+      json_out = a.substr(sizeof("--json-out=") - 1);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Per-figure machine-readable results ride google-benchmark's JSON file
+  // reporter; the console table is unchanged.
+  std::vector<std::string> extra;
+  if (!json_out.empty()) {
+    extra.push_back("--benchmark_out=" + json_out);
+    extra.push_back("--benchmark_out_format=json");
+  }
+  for (std::string& e : extra) {
+    args.push_back(e.data());
+  }
+  args.push_back(nullptr);
+
+  if (!trace_out.empty()) {
+    g_bench_trace = std::make_unique<TraceRecorder>();
+  }
+
+  int n = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty()) {
+    if (!WriteChromeTraceFile(*g_bench_trace, trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace: %llu events on %zu tracks (%llu dropped) -> %s\n",
+                 static_cast<unsigned long long>(g_bench_trace->recorded()),
+                 g_bench_trace->track_count(),
+                 static_cast<unsigned long long>(g_bench_trace->dropped()),
+                 trace_out.c_str());
+    std::fputs(g_bench_trace->metrics().Report().c_str(), stderr);
+  }
+  return 0;
 }
 
 }  // namespace bench

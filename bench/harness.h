@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "src/trace/recorder.h"
 #include "src/workloads/workload.h"
 
 namespace nearpm {
@@ -53,6 +54,32 @@ double MeanSpeedup(Mechanism mechanism, ExecMode mode, bool region_time,
                    const RunConfig& base);
 
 const char* ShortModeName(ExecMode mode);
+
+// ---- Shared entry point ------------------------------------------------------
+// Every bench binary funnels through BenchMain, which understands two flags
+// of its own before handing the rest to google-benchmark:
+//
+//   --trace-out=<file>  capture a structured event trace of every simulated
+//                       run and write it as Chrome trace-event JSON
+//                       (chrome://tracing or https://ui.perfetto.dev)
+//   --json-out=<file>   machine-readable per-figure results (the
+//                       google-benchmark JSON schema; counters carry the
+//                       figure's numbers). Defaults to BENCH_<figure>.json
+//                       next to the binary's working directory; pass an
+//                       empty value to disable.
+//
+// Returns the process exit code.
+int BenchMain(int argc, char** argv, const std::string& figure);
+
+// The process-wide bench recorder; null unless --trace-out was given (so
+// instrumentation stays a single branch in performance runs).
+TraceRecorder* BenchTrace();
+
+// Attaches the bench recorder (when active) to a freshly built Runtime and
+// opens a new trace epoch, since each Runtime's virtual clocks start at zero.
+// Harness-made runtimes do this automatically; benchmarks that construct
+// their own Runtime call it by hand.
+void AttachBenchTrace(Runtime& rt);
 
 }  // namespace bench
 }  // namespace nearpm

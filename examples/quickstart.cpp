@@ -4,19 +4,42 @@
 // synchronization), a persistent heap with undo logging, updates a record
 // transactionally, pulls the plug, and recovers.
 //
+// Pass --trace-out=<file> to capture the full event trace of the run --
+// every command post, FIFO entry, unit execution, persist, the crash and
+// the recovery replay -- as Chrome trace-event JSON, then load it in
+// https://ui.perfetto.dev (or chrome://tracing) to see one lane per
+// simulated resource.
+//
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --trace-out=quickstart.trace.json
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/common/rng.h"
 #include "src/pmlib/heap.h"
+#include "src/trace/chrome_exporter.h"
+#include "src/trace/ppo_checker.h"
+#include "src/trace/recorder.h"
 
 using namespace nearpm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
+
   // 1. The platform: mode, devices, units -- Table 3 defaults.
   RuntimeOptions options;
   options.mode = ExecMode::kNdpMultiDelayed;  // two devices, PPO delayed sync
   Runtime rt(options);
+  TraceRecorder recorder;
+  if (!trace_out.empty()) {
+    rt.AttachTrace(&recorder);
+  }
 
   // 2. A persistent heap: pool + allocator + undo-logging provider.
   PoolArena arena;
@@ -75,5 +98,20 @@ int main() {
   std::printf("recovered counter=%llu (checksum %s)\n",
               static_cast<unsigned long long>(rec->counter),
               rec->checksum == (rec->counter ^ 0xabcdef) ? "ok" : "CORRUPT");
+
+  // 6. Export the trace and assert the PPO invariants over it.
+  if (!trace_out.empty()) {
+    if (!WriteChromeTraceFile(recorder, trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    const auto violations = PpoChecker{}.Check(recorder);
+    std::printf("trace: %llu events -> %s\n%s",
+                static_cast<unsigned long long>(recorder.recorded()),
+                trace_out.c_str(), PpoChecker::Report(violations).c_str());
+    if (!violations.empty()) {
+      return 1;
+    }
+  }
   return rec->counter == 10 ? 0 : 1;
 }

@@ -80,10 +80,16 @@ void Runtime::HostBarrier(ThreadId t, const AddrRange& range, bool is_write) {
   if (!options_.UsesNdp() || !options_.enforce_ppo) {
     return;
   }
+  const SimTime begin = stats_.now(t);
   for (auto& dev : devices_) {
     const SimTime free_at =
         dev->HostAccessBarrier(range, is_write, stats_.now(t));
     stats_.StallUntil(t, free_at);
+  }
+  if (stats_.now(t) > begin) {
+    NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCpuStall, .tid = t,
+                      .ts = begin, .dur = stats_.now(t) - begin,
+                      .range = range, .arg0 = is_write ? 1u : 0u);
   }
 }
 
@@ -112,6 +118,9 @@ void Runtime::Write(ThreadId t, PmAddr addr,
   // they need no ordering against in-flight NDP work (the relaxation at the
   // heart of PPO): only the later persist -- or a natural eviction, handled
   // by the crash model's write-back guards -- is ordered by the device.
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuWrite, .tid = t,
+                     .ts = stats_.now(t),
+                     .range = AddrRange{addr, addr + data.size()});
   stats_.Charge(t, static_cast<double>(CostModel::Lines(data.size())) *
                        options_.cost.cpu_store_line_ns);
   space_.CpuWrite(addr, data);
@@ -123,6 +132,10 @@ void Runtime::Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out) {
   }
   const AddrRange range{addr, addr + out.size()};
   HostBarrier(t, range, /*is_write=*/false);
+  // Recorded post-stall: Invariant 1 says the load's architectural time must
+  // fall outside every conflicting request's execution window.
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuRead, .tid = t,
+                     .ts = stats_.now(t), .range = range);
   stats_.Charge(t, static_cast<double>(CostModel::Lines(out.size())) *
                        options_.cost.cpu_cached_read_ns);
   space_.CpuRead(addr, out);
@@ -143,11 +156,21 @@ void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size) {
       dev->HostWritebackAccepted(range, stats_.now(t));
     }
   }
+  // Recorded after queue acceptance so the devices' kRetire events order
+  // before the persist (Invariant 2 reads the stream in record order).
+  NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCpuPersist, .tid = t,
+                    .ts = stats_.now(t),
+                    .dur = NsToTime(options_.cost.CpuPersistNs(size)),
+                    .range = AddrRange{addr, addr + size});
   stats_.Charge(t, options_.cost.CpuPersistNs(size));
   space_.CpuPersist(addr, size);
 }
 
-void Runtime::Fence(ThreadId t) { stats_.Charge(t, options_.cost.cpu_fence_ns); }
+void Runtime::Fence(ThreadId t) {
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuFence, .tid = t,
+                     .ts = stats_.now(t));
+  stats_.Charge(t, options_.cost.cpu_fence_ns);
+}
 
 void Runtime::Compute(ThreadId t, double ns) { stats_.Charge(t, ns); }
 
@@ -254,9 +277,11 @@ SimTime Runtime::IssueNdp(const NearPmRequest& request,
     }
     const NearPmDevice::IssueResult res =
         deferred ? devices_[d]->IssueDeferred(request.seq, post_time,
-                                              write_range, per_dev[d], earliest)
+                                              write_range, per_dev[d],
+                                              earliest, request.op)
                  : devices_[d]->Issue(request.seq, post_time, read_range,
-                                      write_range, per_dev[d], earliest);
+                                      write_range, per_dev[d], earliest,
+                                      request.op);
     cpu_now = std::max(cpu_now, res.cpu_release);
     completion = std::max(completion, res.completion);
     ++participants;
@@ -391,6 +416,7 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
   if (multi && options_.mode == ExecMode::kNdpMultiSwSync) {
     // Software synchronization: the CPU polls every device's completion
     // status before it allows the logs to be deleted.
+    const SimTime poll_begin = stats_.now(t);
     SimTime target = stats_.now(t);
     for (auto& dev : devices_) {
       target = std::max(target, dev->last_completion());
@@ -401,11 +427,19 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
                         static_cast<double>(devices_.size()),
                     CcCategory::kOrdering);
     ++counters_.sw_sync_polls;
+    NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kSwSyncPoll, .tid = t,
+                      .ts = poll_begin, .dur = stats_.now(t) - poll_begin);
     if (space_.retain_crash_state()) {
       const std::uint64_t sync_id = ++sync_counter_;
       space_.SyncMarker(sync_id);
       space_.RetireThroughSync(sync_id);
       journal_.RemoveThroughSync(sync_id);
+      NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kSyncMarker,
+                         .pid = kTraceSyncPid, .ts = poll_begin,
+                         .seq = sync_id);
+      NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kSyncComplete,
+                         .pid = kTraceSyncPid, .ts = stats_.now(t),
+                         .seq = sync_id);
     }
   } else if (multi && options_.mode == ExecMode::kNdpMultiDelayed) {
     // Delayed synchronization (PPO): the deletes are ordered behind a
@@ -422,6 +456,11 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
     pending_syncs_.push_back(PendingSync{sync_id, done});
     ++counters_.delayed_syncs;
     earliest = done;
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kSyncMarker,
+                       .pid = kTraceSyncPid, .ts = stats_.now(t),
+                       .seq = sync_id);
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kSyncComplete,
+                       .pid = kTraceSyncPid, .ts = done, .seq = sync_id);
   }
 
   for (PmAddr slot : slots) {
@@ -528,6 +567,7 @@ void Runtime::DrainDevices(ThreadId t) {
   if (!options_.UsesNdp()) {
     return;
   }
+  const SimTime drain_begin = stats_.now(t);
   SimTime target = stats_.now(t);
   for (auto& dev : devices_) {
     target = std::max(target, dev->last_any_completion());
@@ -537,6 +577,8 @@ void Runtime::DrainDevices(ThreadId t) {
   }
   stats_.StallUntil(t, target);
   stats_.ChargeAs(t, options_.cost.cpu_poll_round_ns, CcCategory::kOrdering);
+  NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCpuDrain, .tid = t,
+                    .ts = drain_begin, .dur = stats_.now(t) - drain_begin);
   if (space_.retain_crash_state()) {
     const std::uint64_t sync_id = ++sync_counter_;
     space_.SyncMarker(sync_id);
@@ -551,7 +593,10 @@ void Runtime::DrainDevices(ThreadId t) {
 CrashReport Runtime::InjectCrash(Rng& rng) {
   // The power fails "now" -- at the latest point any CPU thread reached.
   // NDP work still executing past this instant is truncated or lost.
-  CrashReport report = space_.Crash(rng, stats_.MaxThreadTime());
+  const SimTime crash_time = stats_.MaxThreadTime();
+  CrashReport report = space_.Crash(rng, crash_time);
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCrash, .ts = crash_time,
+                     .arg0 = report.frontier_sync);
 
   // Hardware recovery (Section 5.3.3): reload the persistence-domain
   // structures and replay the requests that were still in flight -- in the
@@ -575,6 +620,9 @@ CrashReport Runtime::InjectCrash(Rng& rng) {
     if (already_durable(e.request.seq)) {
       continue;
     }
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kRecoveryReplay,
+                       .ts = crash_time, .seq = e.request.seq,
+                       .arg0 = static_cast<std::uint64_t>(e.request.op));
     for (const NdpWorkItem& item : BuildWork(e.request)) {
       const std::uint64_t len = item.kind == NdpWorkItem::Kind::kCopy
                                     ? item.size
@@ -605,7 +653,20 @@ CrashReport Runtime::InjectCrash(Rng& rng) {
     dev->Reset();
   }
   stats_.Reset();
+  // Virtual clocks restart from zero: later timestamps alias pre-crash ones,
+  // so the trace moves to a fresh epoch.
+  if (trace_ != nullptr) {
+    trace_->NextEpoch();
+  }
   return report;
+}
+
+void Runtime::AttachTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  space_.set_trace(trace);
+  for (auto& dev : devices_) {
+    dev->set_trace(trace);
+  }
 }
 
 }  // namespace nearpm

@@ -35,6 +35,7 @@
 #include "src/ndp/recovery_journal.h"
 #include "src/ndp/request.h"
 #include "src/pmem/pm_space.h"
+#include "src/trace/recorder.h"
 
 namespace nearpm {
 
@@ -150,6 +151,14 @@ class Runtime {
   // caller's job, as in the paper.
   CrashReport InjectCrash(Rng& rng);
 
+  // ---- Observability ---------------------------------------------------------
+  // Attaches `trace` (or detaches, with nullptr) to the runtime and every
+  // component underneath it: the devices and the PM space record through the
+  // same recorder, so one stream carries the full request lifecycle. A crash
+  // starts a new trace epoch (virtual clocks restart from zero).
+  void AttachTrace(TraceRecorder* trace);
+  TraceRecorder* trace() const { return trace_; }
+
  private:
   struct PendingSync {
     std::uint64_t id = 0;
@@ -190,6 +199,7 @@ class Runtime {
   std::vector<PendingSync> pending_syncs_;
   PoolId next_pool_ = 1;
   std::vector<std::uint8_t> scratch_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nearpm

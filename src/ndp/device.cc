@@ -19,7 +19,7 @@ NearPmDevice::NearPmDevice(DeviceId id, const CostModel* cost, int num_units,
 NearPmDevice::IssueResult NearPmDevice::Issue(
     std::uint64_t seq, SimTime cpu_now, const AddrRange& read_range,
     const AddrRange& write_range, const std::vector<NdpWorkItem>& work,
-    SimTime earliest_start) {
+    SimTime earliest_start, NearPmOp op) {
   IssueResult result;
 
   // 1. MMIO command post on the dedicated control path.
@@ -38,10 +38,22 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
     ++stats_.fifo_backpressure_stalls;
   }
 
+  NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCmdPost,
+                    .pid = kTracePciePid, .ts = cpu_now,
+                    .dur = result.cpu_release - cpu_now, .seq = seq,
+                    .arg0 = static_cast<std::uint64_t>(op));
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kFifoEnqueue,
+                     .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                     .ts = result.cpu_release, .seq = seq);
+
   // 3. Decode + address translation + conflict check in the Dispatcher.
   const SimTime arrival =
       result.cpu_release + NsToTime(cost_->cmd_device_pipeline_ns);
   SimTime start_lb = std::max(arrival, earliest_start);
+  NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kDevPipeline,
+                    .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                    .ts = result.cpu_release,
+                    .dur = arrival - result.cpu_release, .seq = seq);
 
   // 4. NDP-NDP ordering: a request conflicting with an in-flight one is
   //    buffered until the in-flight access completes (Section 5.3.1).
@@ -51,15 +63,26 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
       inflight_.Conflicts(write_range, /*access_is_write=*/true, cpu_now);
   const SimTime conflict_free_at = std::max(rd_conflict, wr_conflict);
   if (conflict_free_at > start_lb) {
+    NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kConflictStall,
+                      .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                      .ts = start_lb, .dur = conflict_free_at - start_lb,
+                      .seq = seq);
     start_lb = conflict_free_at;
     ++stats_.dispatcher_conflict_stalls;
   }
 
   // 5. Execute on the earliest-available NearPM unit.
   const double work_ns = NdpWorkNs(*cost_, work);
-  result.completion = units_.Schedule(start_lb, work_ns);
+  int unit_index = 0;
+  result.completion = units_.Schedule(start_lb, work_ns, &unit_index);
   const SimTime dispatch_time = result.completion - NsToTime(work_ns);
   fifo_dispatch_times_.push_back(dispatch_time);
+  NEARPM_TRACE_SPAN(
+      trace_, .phase = TracePhase::kUnitExec, .pid = TraceDevicePid(id_),
+      .tid = kTraceUnitTidBase + static_cast<std::uint32_t>(unit_index),
+      .ts = dispatch_time, .dur = result.completion - dispatch_time,
+      .seq = seq, .range = write_range, .range2 = read_range,
+      .arg0 = static_cast<std::uint64_t>(op), .arg1 = cpu_now);
 
   inflight_.Prune(cpu_now);
   inflight_.Insert(
@@ -102,6 +125,10 @@ SimTime NearPmDevice::HostAccessBarrier(const AddrRange& range, bool is_write,
   // The CPU access is now ordered after these requests' completion.
   for (std::uint64_t seq : conflicting) {
     space_->RetireRequest(id_, seq);
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kRetire,
+                       .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                       .ts = std::max(free_at, now), .seq = seq,
+                       .range = range);
   }
   inflight_.Prune(now);
   if (free_at > now) {
@@ -113,7 +140,8 @@ SimTime NearPmDevice::HostAccessBarrier(const AddrRange& range, bool is_write,
 
 NearPmDevice::IssueResult NearPmDevice::IssueDeferred(
     std::uint64_t seq, SimTime cpu_now, const AddrRange& write_range,
-    const std::vector<NdpWorkItem>& work, SimTime earliest_start) {
+    const std::vector<NdpWorkItem>& work, SimTime earliest_start,
+    NearPmOp op) {
   IssueResult result;
   result.cpu_release = cpu_now + NsToTime(cost_->cmd_post_ns);
   const SimTime arrival =
@@ -124,6 +152,12 @@ NearPmDevice::IssueResult NearPmDevice::IssueDeferred(
   start_lb = std::max(start_lb, wr_conflict);
   const double work_ns = NdpWorkNs(*cost_, work);
   result.completion = deferred_.Schedule(start_lb, work_ns);
+  NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kDeferredExec,
+                    .pid = TraceDevicePid(id_), .tid = kTraceMaintenanceTid,
+                    .ts = result.completion - NsToTime(work_ns),
+                    .dur = NsToTime(work_ns), .seq = seq,
+                    .range = write_range,
+                    .arg0 = static_cast<std::uint64_t>(op), .arg1 = cpu_now);
   inflight_.Prune(cpu_now);
   inflight_.Insert(
       InflightTable::Entry{seq, AddrRange{}, write_range, result.completion});
@@ -154,9 +188,15 @@ void NearPmDevice::HostWritebackAccepted(const AddrRange& range, SimTime now) {
   }
   std::vector<std::uint64_t> conflicting;
   inflight_.Conflicts(range, /*access_is_write=*/true, now, &conflicting);
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kWritebackAccepted,
+                     .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                     .ts = now, .range = range, .arg0 = conflicting.size());
   for (std::uint64_t seq : conflicting) {
     space_->RetireRequest(id_, seq);
     ++stats_.host_buffered_writebacks;
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kRetire,
+                       .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                       .ts = now, .seq = seq, .range = range, .arg0 = 1);
   }
   inflight_.Prune(now);
 }

@@ -23,6 +23,7 @@
 #include "src/pmem/pm_space.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/timeline.h"
+#include "src/trace/recorder.h"
 
 namespace nearpm {
 
@@ -52,10 +53,12 @@ class NearPmDevice {
   // the global address ranges the request touches on this device (either may
   // be empty). `earliest_start` lets the caller impose additional ordering
   // (e.g., a delayed cross-device synchronization the request must follow).
+  // `op` only labels the request in the event trace.
   IssueResult Issue(std::uint64_t seq, SimTime cpu_now,
                     const AddrRange& read_range, const AddrRange& write_range,
                     const std::vector<NdpWorkItem>& work,
-                    SimTime earliest_start = 0);
+                    SimTime earliest_start = 0,
+                    NearPmOp op = NearPmOp::kRawCopy);
 
   // Host load ordering (Invariants 1 and 2, Figure 10): returns the time at
   // which a CPU access to `range` may proceed, stalled behind any
@@ -83,7 +86,8 @@ class NearPmDevice {
   IssueResult IssueDeferred(std::uint64_t seq, SimTime cpu_now,
                             const AddrRange& write_range,
                             const std::vector<NdpWorkItem>& work,
-                            SimTime earliest_start);
+                            SimTime earliest_start,
+                            NearPmOp op = NearPmOp::kCommitLog);
 
   // Completion time of everything issued to this device so far (used by the
   // multi-device handler to place synchronization points; deferred
@@ -99,6 +103,9 @@ class NearPmDevice {
   int num_units() const { return units_.size(); }
   const DeviceStats& stats() const { return stats_; }
 
+  // Attaches (or detaches, with nullptr) the event recorder.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   void Reset();
 
  private:
@@ -113,6 +120,7 @@ class NearPmDevice {
   SimTime last_completion_ = 0;
   DeviceStats stats_;
   std::vector<std::uint8_t> copy_buffer_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nearpm

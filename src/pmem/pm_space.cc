@@ -456,6 +456,18 @@ CrashReport PmSpace::Crash(Rng& rng, std::uint64_t crash_time) {
     log.base = 0;
   }
 
+  if (NEARPM_TRACE_ENABLED(trace_)) {
+    for (std::size_t d = 0; d < report.outcomes.size(); ++d) {
+      for (const auto& [seq, outcome] : report.outcomes[d]) {
+        NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCrashOutcome,
+                           .pid = TraceDevicePid(static_cast<DeviceId>(d)),
+                           .tid = kTraceDispatcherTid, .ts = crash_time,
+                           .seq = seq,
+                           .arg0 = static_cast<std::uint64_t>(outcome));
+      }
+    }
+  }
+
   read_guards_.clear();
   last_sync_id_ = 0;
   return report;

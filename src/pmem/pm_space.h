@@ -44,6 +44,7 @@
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/pmem/interleave.h"
+#include "src/trace/recorder.h"
 
 namespace nearpm {
 
@@ -155,6 +156,10 @@ class PmSpace {
   std::uint64_t pending_line_count() const { return pending_.size(); }
   std::uint64_t live_request_count(DeviceId device) const;
 
+  // Attaches (or detaches, with nullptr) the event recorder; Crash() then
+  // stamps each tracked request's sampled outcome into the trace.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct LineEvent {
     PmAddr addr = 0;
@@ -197,6 +202,7 @@ class PmSpace {
   std::unordered_map<PmAddr, std::pair<DeviceId, std::uint64_t>> read_guards_;
   std::vector<DeviceLog> device_logs_;
   std::uint64_t last_sync_id_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nearpm

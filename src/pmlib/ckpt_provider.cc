@@ -21,6 +21,8 @@ Status CheckpointProvider::BeginOp(ThreadId t) {
     return FailedPrecondition("operation already open on this thread");
   }
   ts.active = true;
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kOpBegin,
+                     .tid = t, .ts = pool_->rt().Now(t), .seq = ts.epoch);
   return Status::Ok();
 }
 
@@ -111,6 +113,8 @@ StatusOr<bool> CheckpointProvider::CommitOp(ThreadId t,
     rt.stats().SetCategory(t, CcCategory::kOrdering);
     rt.WaitUntil(t, ts.snapshot_done);
   }
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.epoch);
   ts.active = false;
   ++ts.ops_in_epoch;
   // Close at the interval, or early under slot pressure (epoch boundaries
@@ -159,6 +163,8 @@ Status CheckpointProvider::RecoverThread(ThreadId t) {
 }
 
 Status CheckpointProvider::Recover() {
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kMechRecover,
+                     .ts = pool_->rt().Now(0));
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     NEARPM_RETURN_IF_ERROR(RecoverThread(t));
     const TxRecord rec =

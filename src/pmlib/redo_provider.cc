@@ -19,6 +19,8 @@ Status RedoLogProvider::BeginOp(ThreadId t) {
   ts.active = true;
   ts.tx_id = rt.NextTxId();
   ts.redirects.clear();
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpBegin, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.tx_id);
 
   TxRecord rec;
   rec.state = static_cast<std::uint64_t>(TxState::kActive);
@@ -128,6 +130,8 @@ StatusOr<bool> RedoLogProvider::CommitOp(ThreadId t,
   }
   // COMMITTED persists until the next BeginOp; re-applying a committed log
   // at recovery is idempotent.
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.tx_id);
   ts.active = false;
   return true;
 }
@@ -170,6 +174,8 @@ Status RedoLogProvider::RecoverThread(ThreadId t) {
 }
 
 Status RedoLogProvider::Recover() {
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kMechRecover,
+                     .ts = pool_->rt().Now(0));
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     NEARPM_RETURN_IF_ERROR(RecoverThread(t));
     threads_[t] = ThreadState{};

@@ -50,6 +50,8 @@ Status ShadowPagingProvider::BeginOp(ThreadId t) {
   }
   ts.active = true;
   ts.shadowed.clear();
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kOpBegin,
+                     .tid = t, .ts = pool_->rt().Now(t));
   return Status::Ok();
 }
 
@@ -150,6 +152,8 @@ StatusOr<bool> ShadowPagingProvider::CommitOp(ThreadId t,
     page_used_[pages.first] = false;
   }
   ts.shadowed.clear();
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
+                     .ts = rt.Now(t));
   ts.active = false;
   return true;
 }
@@ -175,6 +179,8 @@ Status ShadowPagingProvider::RecoverThread(ThreadId t) {
 }
 
 Status ShadowPagingProvider::Recover() {
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kMechRecover,
+                     .ts = pool_->rt().Now(0));
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     NEARPM_RETURN_IF_ERROR(RecoverThread(t));
     threads_[t] = ThreadState{};

@@ -36,6 +36,8 @@ Status UndoLogProvider::BeginOp(ThreadId t) {
   ts.tx_id = rt.NextTxId();
   ts.used_slots = 0;
   ts.logged.clear();
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpBegin, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.tx_id);
 
   TxRecord rec;
   rec.state = static_cast<std::uint64_t>(TxState::kActive);
@@ -110,6 +112,8 @@ StatusOr<bool> UndoLogProvider::CommitOp(ThreadId t,
   // The record stays COMMITTED until the next BeginOp overwrites it: a crash
   // in between scrubs any leftover slots without applying them (state is not
   // ACTIVE), so an explicit IDLE write would buy nothing.
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.tx_id);
   ts.active = false;
   return true;
 }
@@ -159,6 +163,8 @@ Status UndoLogProvider::RecoverThread(ThreadId t) {
 }
 
 Status UndoLogProvider::Recover() {
+  NEARPM_TRACE_EVENT(pool_->rt().trace(), .phase = TracePhase::kMechRecover,
+                     .ts = pool_->rt().Now(0));
   for (ThreadId t = 0; t < threads_.size(); ++t) {
     NEARPM_RETURN_IF_ERROR(RecoverThread(t));
     threads_[t] = ThreadState{};

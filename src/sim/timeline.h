@@ -47,12 +47,18 @@ class UnitPool {
  public:
   explicit UnitPool(int num_units) : units_(static_cast<size_t>(num_units)) {}
 
-  SimTime Schedule(SimTime earliest, double duration_ns) {
+  // `unit_index`, when non-null, receives which unit the work landed on
+  // (the event recorder attributes the span to that unit's track).
+  SimTime Schedule(SimTime earliest, double duration_ns,
+                   int* unit_index = nullptr) {
     Timeline* best = &units_.front();
     for (Timeline& u : units_) {
       if (u.free_at() < best->free_at()) {
         best = &u;
       }
+    }
+    if (unit_index != nullptr) {
+      *unit_index = static_cast<int>(best - units_.data());
     }
     return best->Schedule(earliest, duration_ns);
   }

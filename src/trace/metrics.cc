@@ -1,0 +1,47 @@
+#include "src/trace/metrics.h"
+
+namespace nearpm {
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out += name + ": n=" + std::to_string(hist.count()) +
+           " p50<=" + std::to_string(hist.Percentile(0.5)) +
+           "ns p99<=" + std::to_string(hist.Percentile(0.99)) +
+           "ns max<=" + std::to_string(hist.Percentile(1.0)) + "ns\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(value);
+  }
+  out += "}, \"latencies_ns\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"count\": " + std::to_string(hist.count()) +
+           ", \"p50\": " + std::to_string(hist.Percentile(0.5)) +
+           ", \"p90\": " + std::to_string(hist.Percentile(0.9)) +
+           ", \"p99\": " + std::to_string(hist.Percentile(0.99)) +
+           ", \"max\": " + std::to_string(hist.Percentile(1.0)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace nearpm

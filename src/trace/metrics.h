@@ -1,0 +1,57 @@
+// Registry of named counters and latency histograms.
+//
+// The trace recorder feeds every span's duration into a histogram named
+// after its phase, giving a per-phase latency breakdown of the request
+// lifecycle for free; subsystems can additionally register their own
+// counters (requests issued, conflicts, bytes moved...). The registry is a
+// plain single-threaded structure -- the simulator runs on one OS thread --
+// and reports either as human-readable text or as JSON for trajectory
+// tracking across runs.
+#ifndef SRC_TRACE_METRICS_H_
+#define SRC_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/stats.h"
+
+namespace nearpm {
+
+class MetricsRegistry {
+ public:
+  // Named monotonic counter (created on first use).
+  std::uint64_t& Counter(const std::string& name) { return counters_[name]; }
+  // Named latency histogram in simulated nanoseconds (created on first use).
+  Histogram& Latency(const std::string& name) { return histograms_[name]; }
+
+  void AddLatency(const std::string& name, std::uint64_t ns) {
+    histograms_[name].Add(ns);
+  }
+  void Increment(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void Reset();
+
+  // One line per metric: counters, then histograms with count/p50/p99/max.
+  std::string Report() const;
+  // {"counters": {...}, "latencies_ns": {"phase": {"count":..,"p50":..}}}
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace nearpm
+
+#endif  // SRC_TRACE_METRICS_H_

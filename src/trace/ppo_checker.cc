@@ -1,0 +1,214 @@
+#include "src/trace/ppo_checker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nearpm {
+
+namespace {
+
+bool IsExecSpan(const TraceEvent& e) {
+  return e.phase == TracePhase::kUnitExec ||
+         e.phase == TracePhase::kDeferredExec;
+}
+
+// CrashOutcome::kDurable from src/pmem -- mirrored here as an integer so the
+// trace layer stays below pmem (the producer records the enum value).
+constexpr std::uint64_t kOutcomeDurable = 2;
+
+struct EpochChecker {
+  explicit EpochChecker(std::size_t max) : max_violations(max) {}
+
+  std::size_t max_violations;
+  std::vector<PpoViolation> violations;
+  // Exec spans seen so far, in issue (record) order.
+  std::vector<const TraceEvent*> spans;
+  // (seq << 8 | pid-low) retire keys seen so far.
+  std::unordered_set<std::uint64_t> retired;
+  std::set<std::uint32_t> device_pids;
+  const TraceEvent* crash = nullptr;
+  std::unordered_set<std::uint64_t> replayed;
+  // seq -> true iff some device sampled a non-durable outcome at the crash.
+  std::unordered_map<std::uint64_t, bool> any_non_durable;
+
+  bool Full() const { return violations.size() >= max_violations; }
+
+  void Add(int invariant, const TraceEvent& at, std::uint64_t seq,
+           std::string detail) {
+    if (Full()) {
+      return;
+    }
+    violations.push_back(
+        PpoViolation{invariant, seq, at.epoch, at.ts, std::move(detail)});
+  }
+
+  static std::uint64_t RetireKey(std::uint64_t seq, std::uint32_t pid) {
+    return (seq << 8) ^ pid;
+  }
+
+  void Consume(const TraceEvent& e) {
+    switch (e.phase) {
+      case TracePhase::kUnitExec:
+      case TracePhase::kDeferredExec:
+        device_pids.insert(e.pid);
+        if (e.phase == TracePhase::kDeferredExec) {
+          CheckInvariant3(e);
+        }
+        spans.push_back(&e);
+        break;
+      case TracePhase::kRetire:
+        retired.insert(RetireKey(e.seq, e.pid));
+        break;
+      case TracePhase::kCpuRead:
+        CheckInvariant1(e);
+        break;
+      case TracePhase::kCpuPersist:
+        CheckInvariant2(e);
+        break;
+      case TracePhase::kCrash:
+        crash = &e;
+        break;
+      case TracePhase::kCrashOutcome:
+        if (e.arg0 != kOutcomeDurable) {
+          any_non_durable[e.seq] = true;
+        } else {
+          any_non_durable.emplace(e.seq, false);
+        }
+        break;
+      case TracePhase::kRecoveryReplay:
+        CheckInvariant4(e);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Invariant 1: the load must not land inside the execution window of an
+  // earlier-issued request that writes an overlapping range.
+  void CheckInvariant1(const TraceEvent& read) {
+    for (const TraceEvent* s : spans) {
+      if (s->range.Overlaps(read.range) && read.ts < s->end()) {
+        Add(1, read, s->seq,
+            "CPU load at t=" + std::to_string(read.ts) +
+                " observes addresses request seq=" + std::to_string(s->seq) +
+                " is still writing until t=" + std::to_string(s->end()));
+        if (Full()) return;
+      }
+    }
+  }
+
+  // Invariant 2: a persist overlapping an in-flight request's operands must
+  // have been ordered behind it (the request retired at queue acceptance).
+  void CheckInvariant2(const TraceEvent& persist) {
+    for (const TraceEvent* s : spans) {
+      const bool overlap = s->range.Overlaps(persist.range) ||
+                           s->range2.Overlaps(persist.range);
+      if (overlap && persist.ts < s->end() &&
+          retired.find(RetireKey(s->seq, s->pid)) == retired.end()) {
+        Add(2, persist, s->seq,
+            "CPU persist at t=" + std::to_string(persist.ts) +
+                " overlaps in-flight request seq=" + std::to_string(s->seq) +
+                " (completes t=" + std::to_string(s->end()) +
+                ") without ordering it first");
+        if (Full()) return;
+      }
+    }
+  }
+
+  // Invariant 3: in a multi-device epoch, maintenance work (log deletion)
+  // begins only after everything issued before it has completed everywhere.
+  void CheckInvariant3(const TraceEvent& del) {
+    // The check is cross-device by nature; a single device orders same-
+    // address work through its in-flight table already.
+    if (device_pids.size() < 2) {
+      return;
+    }
+    for (const TraceEvent* s : spans) {
+      if (s->phase != TracePhase::kUnitExec) {
+        continue;
+      }
+      if (del.ts < s->end()) {
+        Add(3, del, del.seq,
+            "log deletion seq=" + std::to_string(del.seq) + " executes at t=" +
+                std::to_string(del.ts) + " before earlier request seq=" +
+                std::to_string(s->seq) + " completes at t=" +
+                std::to_string(s->end()) +
+                " (commit not ordered behind synchronization)");
+        if (Full()) return;
+      }
+    }
+  }
+
+  // Invariant 4: replay only after a crash, only of requests issued before
+  // it, never of requests already durable everywhere, never twice.
+  void CheckInvariant4(const TraceEvent& replay) {
+    if (crash == nullptr) {
+      Add(4, replay, replay.seq, "recovery replay without a preceding crash");
+      return;
+    }
+    if (!replayed.insert(replay.seq).second) {
+      Add(4, replay, replay.seq,
+          "request seq=" + std::to_string(replay.seq) + " replayed twice");
+      return;
+    }
+    const TraceEvent* issued = nullptr;
+    for (const TraceEvent* s : spans) {
+      if (s->seq == replay.seq && s->order < crash->order) {
+        issued = s;
+        break;
+      }
+    }
+    if (issued == nullptr) {
+      Add(4, replay, replay.seq,
+          "replayed request seq=" + std::to_string(replay.seq) +
+              " was never issued before the crash");
+      return;
+    }
+    auto it = any_non_durable.find(replay.seq);
+    if (it != any_non_durable.end() && !it->second) {
+      Add(4, replay, replay.seq,
+          "request seq=" + std::to_string(replay.seq) +
+              " was already durable on every device yet was replayed");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<PpoViolation> PpoChecker::Check(
+    const std::vector<TraceEvent>& events) const {
+  std::vector<PpoViolation> all;
+  // Events arrive sorted by global order; epochs are contiguous runs.
+  std::size_t i = 0;
+  while (i < events.size() && all.size() < max_violations) {
+    const std::uint32_t epoch = events[i].epoch;
+    EpochChecker checker(max_violations - all.size());
+    for (; i < events.size() && events[i].epoch == epoch; ++i) {
+      if (!checker.Full()) {
+        checker.Consume(events[i]);
+      }
+    }
+    all.insert(all.end(), checker.violations.begin(),
+               checker.violations.end());
+  }
+  return all;
+}
+
+std::string PpoChecker::Report(const std::vector<PpoViolation>& violations) {
+  if (violations.empty()) {
+    return "PPO invariants 1-4 hold over the trace\n";
+  }
+  std::string out = "PPO violations (" + std::to_string(violations.size()) +
+                    "):\n";
+  for (const PpoViolation& v : violations) {
+    out += "  [invariant " + std::to_string(v.invariant) + "] epoch " +
+           std::to_string(v.epoch) + " t=" + std::to_string(v.ts) + " seq=" +
+           std::to_string(v.seq) + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace nearpm

@@ -1,0 +1,111 @@
+#include "src/trace/recorder.h"
+
+#include <algorithm>
+
+namespace nearpm {
+
+const char* TracePhaseName(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kCpuRead:
+      return "cpu_read";
+    case TracePhase::kCpuWrite:
+      return "cpu_write";
+    case TracePhase::kCpuPersist:
+      return "cpu_persist";
+    case TracePhase::kCpuFence:
+      return "cpu_fence";
+    case TracePhase::kCpuStall:
+      return "cpu_stall";
+    case TracePhase::kCpuDrain:
+      return "cpu_drain";
+    case TracePhase::kCmdPost:
+      return "cmd_post";
+    case TracePhase::kFifoEnqueue:
+      return "fifo_enqueue";
+    case TracePhase::kDevPipeline:
+      return "dev_pipeline";
+    case TracePhase::kConflictStall:
+      return "conflict_stall";
+    case TracePhase::kUnitExec:
+      return "unit_exec";
+    case TracePhase::kDeferredExec:
+      return "deferred_exec";
+    case TracePhase::kRetire:
+      return "retire";
+    case TracePhase::kWritebackAccepted:
+      return "writeback_accepted";
+    case TracePhase::kSyncMarker:
+      return "sync_marker";
+    case TracePhase::kSyncComplete:
+      return "sync_complete";
+    case TracePhase::kSwSyncPoll:
+      return "swsync_poll";
+    case TracePhase::kCrash:
+      return "crash";
+    case TracePhase::kCrashOutcome:
+      return "crash_outcome";
+    case TracePhase::kRecoveryReplay:
+      return "recovery_replay";
+    case TracePhase::kOpBegin:
+      return "op_begin";
+    case TracePhase::kOpCommit:
+      return "op_commit";
+    case TracePhase::kMechRecover:
+      return "mech_recover";
+    case TracePhase::kCount:
+      break;
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)
+    : options_(options) {
+  if (options_.ring_capacity == 0) {
+    options_.ring_capacity = 1;
+  }
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  event.epoch = epoch_;
+  event.order = ++order_;
+  ++recorded_;
+  Ring& ring = tracks_[TrackKey(event.pid, event.tid)];
+  if (ring.events.size() < options_.ring_capacity) {
+    ring.events.push_back(event);
+  } else {
+    ring.events[ring.next] = event;
+    ring.next = (ring.next + 1) % options_.ring_capacity;
+    ++dropped_;
+  }
+  if (options_.feed_metrics) {
+    metrics_.Increment(TracePhaseName(event.phase));
+    if (event.is_span()) {
+      metrics_.AddLatency(TracePhaseName(event.phase), event.dur);
+    }
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(recorded_ > dropped_ ? recorded_ - dropped_ : 0);
+  for (const auto& [key, ring] : tracks_) {
+    (void)key;
+    out.insert(out.end(), ring.events.begin(), ring.events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.order < b.order;  // order is globally monotonic
+            });
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  tracks_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+  order_ = 0;
+  epoch_ = 0;
+  metrics_.Reset();
+}
+
+}  // namespace nearpm

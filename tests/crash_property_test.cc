@@ -15,6 +15,8 @@
 
 #include "src/common/rng.h"
 #include "src/pmlib/heap.h"
+#include "src/trace/ppo_checker.h"
+#include "src/trace/recorder.h"
 
 namespace nearpm {
 namespace {
@@ -86,6 +88,10 @@ TEST_P(CrashPropertyTest, SumInvariantSurvivesCrash) {
   opts.mode = c.mode;
   opts.pm_size = 64ull << 20;
   Runtime rt(opts);
+  // Record the whole schedule; PPO is enforced, so the trace must satisfy
+  // the Section 4 invariants (checked at the end).
+  TraceRecorder recorder;
+  rt.AttachTrace(&recorder);
   PoolArena arena(0);
   HeapOptions ho;
   ho.mechanism = c.mechanism;
@@ -136,6 +142,9 @@ TEST_P(CrashPropertyTest, SumInvariantSurvivesCrash) {
   auto sum2 = bank.Sum(0);
   ASSERT_TRUE(sum2.ok());
   EXPECT_EQ(*sum2, static_cast<std::uint64_t>(kAccounts) * kInitialBalance);
+
+  const auto violations = PpoChecker{}.Check(recorder);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
 }
 
 std::vector<CrashCase> AllCrashCases() {
@@ -169,6 +178,8 @@ TEST(CrashCycleTest, SurvivesManyCrashes) {
   opts.mode = ExecMode::kNdpMultiDelayed;
   opts.pm_size = 64ull << 20;
   Runtime rt(opts);
+  TraceRecorder recorder;
+  rt.AttachTrace(&recorder);
   PoolArena arena(0);
   HeapOptions ho;
   ho.mechanism = Mechanism::kLogging;
@@ -196,6 +207,11 @@ TEST(CrashCycleTest, SurvivesManyCrashes) {
     ASSERT_EQ(*sum, static_cast<std::uint64_t>(kAccounts) * kInitialBalance)
         << "cycle " << cycle;
   }
+
+  // One epoch per crash, and no ordering violation in any of them.
+  EXPECT_EQ(recorder.epoch(), 15u);
+  const auto violations = PpoChecker{}.Check(recorder);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
 }
 
 // ---- The Section 2.3 inconsistency, reproduced and fixed by PPO ----------------

@@ -1,0 +1,313 @@
+// PpoChecker tests: each Section 4 invariant is exercised on synthetic event
+// streams (violating and clean variants), then on real runs -- a PPO-enforced
+// schedule must check clean, and the enforce_ppo=false ablation (the naive
+// offload of Section 2.3) must produce a detected ordering violation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/runtime.h"
+#include "src/trace/ppo_checker.h"
+#include "src/trace/recorder.h"
+#include "src/trace/trace_event.h"
+
+namespace nearpm {
+namespace {
+
+// Assigns the recorder-style global order (1-based record sequence) the
+// checker keys every "issued before" relation on.
+std::vector<TraceEvent> Sequenced(std::vector<TraceEvent> events) {
+  std::uint64_t order = 0;
+  for (TraceEvent& e : events) {
+    e.order = ++order;
+  }
+  return events;
+}
+
+TraceEvent UnitExec(std::uint64_t seq, std::uint32_t pid, SimTime ts,
+                    SimTime dur, AddrRange write_range,
+                    AddrRange read_range = {}) {
+  TraceEvent e;
+  e.phase = TracePhase::kUnitExec;
+  e.pid = pid;
+  e.tid = kTraceUnitTidBase;
+  e.ts = ts;
+  e.dur = dur;
+  e.seq = seq;
+  e.range = write_range;
+  e.range2 = read_range;
+  return e;
+}
+
+TraceEvent DeferredExec(std::uint64_t seq, std::uint32_t pid, SimTime ts,
+                        SimTime dur, AddrRange write_range) {
+  TraceEvent e;
+  e.phase = TracePhase::kDeferredExec;
+  e.pid = pid;
+  e.tid = kTraceMaintenanceTid;
+  e.ts = ts;
+  e.dur = dur;
+  e.seq = seq;
+  e.range = write_range;
+  return e;
+}
+
+TraceEvent HostEvent(TracePhase phase, SimTime ts, AddrRange range = {}) {
+  TraceEvent e;
+  e.phase = phase;
+  e.pid = kTraceHostPid;
+  e.ts = ts;
+  e.range = range;
+  return e;
+}
+
+TraceEvent DeviceInstant(TracePhase phase, std::uint64_t seq,
+                         std::uint32_t pid, SimTime ts,
+                         std::uint64_t arg0 = 0) {
+  TraceEvent e;
+  e.phase = phase;
+  e.pid = pid;
+  e.ts = ts;
+  e.seq = seq;
+  e.arg0 = arg0;
+  return e;
+}
+
+// Mirrors CrashOutcome values recorded in kCrashOutcome.arg0.
+constexpr std::uint64_t kOutcomeLost = 0;
+constexpr std::uint64_t kOutcomeDurable = 2;
+
+// ---- Invariant 1: loads stall behind conflicting in-flight writes -----------
+
+TEST(PpoCheckerSynthetic, Invariant1FlagsReadInsideWriteWindow) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}),
+      HostEvent(TracePhase::kCpuRead, 150, {32, 40}),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 1);
+  EXPECT_EQ(violations[0].seq, 7u);
+}
+
+TEST(PpoCheckerSynthetic, Invariant1AcceptsStalledOrDisjointReads) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}),
+      // Post-stall: the load lands exactly at the request's completion.
+      HostEvent(TracePhase::kCpuRead, 200, {32, 40}),
+      // Overlap-free load while the request is still in flight.
+      HostEvent(TracePhase::kCpuRead, 150, {64, 128}),
+  }));
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+// ---- Invariant 2: persists order conflicting requests first -----------------
+
+TEST(PpoCheckerSynthetic, Invariant2FlagsUnorderedPersistOverReadSet) {
+  // The persist overlaps the in-flight request's *read* operand (the old
+  // data an undo-log create is copying) and nothing retired the request.
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(9, TraceDevicePid(0), 100, 400, {4096, 8256}, {0, 4096}),
+      HostEvent(TracePhase::kCpuPersist, 200, {0, 64}),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 2);
+  EXPECT_EQ(violations[0].seq, 9u);
+}
+
+TEST(PpoCheckerSynthetic, Invariant2AcceptsRetiredRequest) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(9, TraceDevicePid(0), 100, 400, {4096, 8256}, {0, 4096}),
+      DeviceInstant(TracePhase::kRetire, 9, TraceDevicePid(0), 190),
+      HostEvent(TracePhase::kCpuPersist, 200, {0, 64}),
+  }));
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerSynthetic, Invariant2RetireIsPerDevice) {
+  // A retire on a different device does not order this device's copy of the
+  // duplicated command.
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(9, TraceDevicePid(0), 100, 400, {4096, 8256}, {0, 4096}),
+      DeviceInstant(TracePhase::kRetire, 9, TraceDevicePid(1), 190),
+      HostEvent(TracePhase::kCpuPersist, 200, {0, 64}),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 2);
+}
+
+// ---- Invariant 3: commits follow synchronization ----------------------------
+
+TEST(PpoCheckerSynthetic, Invariant3FlagsEarlyLogDeletionAcrossDevices) {
+  // Device 1 is still executing the duplicated request when device 0's
+  // maintenance engine starts deleting the log -- the Section 2.3 hazard.
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(1, TraceDevicePid(0), 100, 100, {0, 64}),
+      UnitExec(1, TraceDevicePid(1), 100, 300, {64, 128}),
+      DeferredExec(2, TraceDevicePid(0), 250, 50, {1 << 20, (1 << 20) + 64}),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 3);
+  EXPECT_EQ(violations[0].seq, 2u);
+}
+
+TEST(PpoCheckerSynthetic, Invariant3AcceptsDeletionAfterSync) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(1, TraceDevicePid(0), 100, 100, {0, 64}),
+      UnitExec(1, TraceDevicePid(1), 100, 300, {64, 128}),
+      DeferredExec(2, TraceDevicePid(0), 400, 50, {1 << 20, (1 << 20) + 64}),
+  }));
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerSynthetic, Invariant3SkipsSingleDeviceEpochs) {
+  // One device orders same-address work through its in-flight table; the
+  // cross-device check does not apply.
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(1, TraceDevicePid(0), 100, 300, {0, 64}),
+      DeferredExec(2, TraceDevicePid(0), 250, 50, {1 << 20, (1 << 20) + 64}),
+  }));
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+// ---- Invariant 4: recovery replays exactly the in-flight window -------------
+
+TEST(PpoCheckerSynthetic, Invariant4FlagsReplayWithoutCrash) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      DeviceInstant(TracePhase::kRecoveryReplay, 5, TraceDevicePid(0), 0),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 4);
+}
+
+TEST(PpoCheckerSynthetic, Invariant4AcceptsInFlightReplay) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(5, TraceDevicePid(0), 100, 400, {0, 64}),
+      DeviceInstant(TracePhase::kCrash, 0, TraceDevicePid(0), 300),
+      DeviceInstant(TracePhase::kCrashOutcome, 5, TraceDevicePid(0), 300,
+                    kOutcomeLost),
+      DeviceInstant(TracePhase::kRecoveryReplay, 5, TraceDevicePid(0), 300),
+  }));
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerSynthetic, Invariant4FlagsDoubleReplay) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(5, TraceDevicePid(0), 100, 400, {0, 64}),
+      DeviceInstant(TracePhase::kCrash, 0, TraceDevicePid(0), 300),
+      DeviceInstant(TracePhase::kCrashOutcome, 5, TraceDevicePid(0), 300,
+                    kOutcomeLost),
+      DeviceInstant(TracePhase::kRecoveryReplay, 5, TraceDevicePid(0), 300),
+      DeviceInstant(TracePhase::kRecoveryReplay, 5, TraceDevicePid(0), 300),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 4);
+}
+
+TEST(PpoCheckerSynthetic, Invariant4FlagsReplayOfUnissuedRequest) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      DeviceInstant(TracePhase::kCrash, 0, TraceDevicePid(0), 300),
+      DeviceInstant(TracePhase::kRecoveryReplay, 9, TraceDevicePid(0), 300),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 4);
+  EXPECT_EQ(violations[0].seq, 9u);
+}
+
+TEST(PpoCheckerSynthetic, Invariant4FlagsReplayOfDurableRequest) {
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(5, TraceDevicePid(0), 100, 150, {0, 64}),
+      DeviceInstant(TracePhase::kCrash, 0, TraceDevicePid(0), 300),
+      DeviceInstant(TracePhase::kCrashOutcome, 5, TraceDevicePid(0), 300,
+                    kOutcomeDurable),
+      DeviceInstant(TracePhase::kRecoveryReplay, 5, TraceDevicePid(0), 300),
+  }));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, 4);
+}
+
+// ---- Epoch handling and caps ------------------------------------------------
+
+TEST(PpoCheckerSynthetic, EpochsAreCheckedIndependently) {
+  // The span and the read overlap in timestamps but belong to different
+  // epochs (clocks restarted in between) -- no relation between them.
+  std::vector<TraceEvent> events = Sequenced({
+      UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}),
+      HostEvent(TracePhase::kCpuRead, 150, {32, 40}),
+  });
+  events[1].epoch = 1;
+  const auto violations = PpoChecker{}.Check(events);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerSynthetic, MaxViolationsCapsTheReport) {
+  PpoChecker checker;
+  checker.max_violations = 1;
+  const auto violations = checker.Check(Sequenced({
+      UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}),
+      HostEvent(TracePhase::kCpuRead, 110, {0, 8}),
+      HostEvent(TracePhase::kCpuRead, 120, {8, 16}),
+  }));
+  EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(PpoCheckerSynthetic, ReportFormatsViolations) {
+  EXPECT_NE(PpoChecker::Report({}).find("hold"), std::string::npos);
+  const auto violations = PpoChecker{}.Check(Sequenced({
+      UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}),
+      HostEvent(TracePhase::kCpuRead, 150, {32, 40}),
+  }));
+  const std::string report = PpoChecker::Report(violations);
+  EXPECT_NE(report.find("invariant 1"), std::string::npos);
+  EXPECT_NE(report.find("seq=7"), std::string::npos);
+}
+
+// ---- Real schedules: enforced runs are clean, the ablation is caught --------
+
+// The Section 2.3 scenario at runtime level: an undo-log create is in flight
+// near memory while the CPU immediately loads the log slot the device is
+// still writing. With PPO the load stalls (Invariant 1); without it the load
+// races the device.
+std::vector<PpoViolation> RunAblationSchedule(bool enforce_ppo) {
+  RuntimeOptions options;
+  options.mode = ExecMode::kNdpMultiDelayed;
+  options.enforce_ppo = enforce_ppo;
+  options.pm_size = 16ull << 20;
+  Runtime rt(options);
+  TraceRecorder recorder;
+  rt.AttachTrace(&recorder);
+  auto pool = rt.RegisterPool(0, 1 << 20);
+  EXPECT_TRUE(pool.ok());
+
+  const PmAddr slot = 512 * 1024;
+  EXPECT_TRUE(rt.UndologCreate(*pool, 0, /*tx_id=*/1, /*old_data=*/0,
+                               /*size=*/4096, slot)
+                  .ok());
+  // Load the slot header the device is still writing.
+  (void)rt.Load<std::uint64_t>(0, slot);
+  const PmAddr slots[] = {slot};
+  EXPECT_TRUE(rt.CommitLog(*pool, 0, slots).ok());
+  rt.DrainDevices(0);
+  return PpoChecker{}.Check(recorder);
+}
+
+TEST(PpoCheckerRuntime, EnforcedScheduleChecksClean) {
+  const auto violations = RunAblationSchedule(/*enforce_ppo=*/true);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerRuntime, AblationWithoutPpoIsDetected) {
+  const auto violations = RunAblationSchedule(/*enforce_ppo=*/false);
+  ASSERT_FALSE(violations.empty());
+  bool saw_invariant1 = false;
+  for (const PpoViolation& v : violations) {
+    if (v.invariant == 1) {
+      saw_invariant1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_invariant1) << PpoChecker::Report(violations);
+}
+
+}  // namespace
+}  // namespace nearpm

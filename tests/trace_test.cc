@@ -1,0 +1,547 @@
+// src/trace subsystem tests: recorder order/epoch/ring semantics, the
+// metrics registry, and the Chrome trace-event exporter. The exporter output
+// is schema-checked with a small JSON parser over the trace of a real
+// simulated run (the same WriteChromeTrace path --trace-out uses), so a
+// regression in the emitted JSON fails here rather than in Perfetto.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/runtime.h"
+#include "src/trace/chrome_exporter.h"
+#include "src/trace/metrics.h"
+#include "src/trace/ppo_checker.h"
+#include "src/trace/recorder.h"
+
+namespace nearpm {
+namespace {
+
+// ---- Minimal JSON model + recursive-descent parser --------------------------
+// Only what the schema check needs; rejects anything malformed.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  bool is(Type t) const { return type == t; }
+  const Json* Find(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') {
+      if (pos_ + n >= s_.size() || s_[pos_ + n] != lit[n]) {
+        return false;
+      }
+      ++n;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool ParseValue(Json* out) {
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = Json::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = Json::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = Json::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = Json::Type::kNull;
+        return Literal("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+  bool ParseString(std::string* out) {
+    if (s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              return false;
+            }
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            out->push_back('?');  // codepoint value irrelevant to the schema
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool ParseNumber(Json* out) {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    try {
+      out->number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out->type = Json::Type::kNumber;
+    return true;
+  }
+  bool ParseArray(Json* out) {
+    out->type = Json::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json elem;
+      if (!ParseValue(&elem)) {
+        return false;
+      }
+      out->arr.push_back(std::move(elem));
+      SkipWs();
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool ParseObject(Json* out) {
+    out->type = Json::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= s_.size() || !ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->obj.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= s_.size()) {
+        return false;
+      }
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TraceEvent Instant(TracePhase phase, std::uint32_t pid, std::uint32_t tid,
+                   SimTime ts) {
+  TraceEvent e;
+  e.phase = phase;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts = ts;
+  return e;
+}
+
+// ---- Recorder ---------------------------------------------------------------
+
+TEST(TraceRecorderTest, AssignsMonotonicOrderAndEpochs) {
+  TraceRecorder recorder;
+  recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 10));
+  recorder.Record(Instant(TracePhase::kCpuFence, kTraceHostPid, 1, 5));
+  recorder.Record(Instant(TracePhase::kFifoEnqueue, TraceDevicePid(0), 0, 7));
+  EXPECT_EQ(recorder.NextEpoch(), 1u);
+  recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 1));
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].order, i + 1);  // global record order, 1-based
+  }
+  EXPECT_EQ(events[0].epoch, 0u);
+  EXPECT_EQ(events[2].epoch, 0u);
+  EXPECT_EQ(events[3].epoch, 1u);
+  EXPECT_EQ(recorder.recorded(), 4u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.track_count(), 3u);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestPerTrack) {
+  TraceRecorderOptions options;
+  options.ring_capacity = 4;
+  TraceRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, i));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The ring keeps the newest window: orders 7..10.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].order, 7 + i);
+  }
+}
+
+TEST(TraceRecorderTest, MacrosAreSafeWhenDetachedOrDisabled) {
+  TraceRecorder* detached = nullptr;
+  NEARPM_TRACE_EVENT(detached, .phase = TracePhase::kCpuFence, .ts = 1);
+  EXPECT_FALSE(NEARPM_TRACE_ENABLED(detached));
+
+  TraceRecorder recorder;
+  recorder.set_enabled(false);
+  EXPECT_FALSE(NEARPM_TRACE_ENABLED(&recorder));
+  NEARPM_TRACE_EVENT(&recorder, .phase = TracePhase::kCpuFence, .ts = 1);
+  EXPECT_EQ(recorder.recorded(), 0u);
+
+  recorder.set_enabled(true);
+  NEARPM_TRACE_SPAN(&recorder, .phase = TracePhase::kUnitExec, .ts = 1,
+                    .dur = 9);
+  EXPECT_EQ(recorder.recorded(), 1u);
+}
+
+TEST(TraceRecorderTest, FeedsMetricsPerPhase) {
+  TraceRecorder recorder;
+  NEARPM_TRACE_SPAN(&recorder, .phase = TracePhase::kUnitExec,
+                    .pid = TraceDevicePid(0), .tid = kTraceUnitTidBase,
+                    .ts = 100, .dur = 250);
+  NEARPM_TRACE_EVENT(&recorder, .phase = TracePhase::kCpuFence, .ts = 5);
+
+  const MetricsRegistry& metrics = recorder.metrics();
+  ASSERT_NE(metrics.counters().find("unit_exec"), metrics.counters().end());
+  EXPECT_EQ(metrics.counters().at("unit_exec"), 1u);
+  EXPECT_EQ(metrics.counters().at("cpu_fence"), 1u);
+  // Only spans feed the latency histograms.
+  ASSERT_NE(metrics.histograms().find("unit_exec"),
+            metrics.histograms().end());
+  EXPECT_EQ(metrics.histograms().at("unit_exec").count(), 1u);
+  EXPECT_EQ(metrics.histograms().count("cpu_fence"), 0u);
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  TraceRecorder recorder;
+  recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 1));
+  recorder.NextEpoch();
+  recorder.Clear();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.epoch(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_TRUE(recorder.metrics().empty());
+}
+
+// ---- Metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, ReportAndJsonRoundTrip) {
+  MetricsRegistry metrics;
+  metrics.Increment("requests_issued");
+  metrics.Increment("requests_issued", 4);
+  metrics.AddLatency("unit_exec", 100);
+  metrics.AddLatency("unit_exec", 300);
+
+  const std::string report = metrics.Report();
+  EXPECT_NE(report.find("requests_issued"), std::string::npos);
+  EXPECT_NE(report.find("unit_exec"), std::string::npos);
+
+  Json root;
+  ASSERT_TRUE(JsonParser(metrics.ToJson()).Parse(&root)) << metrics.ToJson();
+  const Json* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* issued = counters->Find("requests_issued");
+  ASSERT_NE(issued, nullptr);
+  EXPECT_EQ(issued->number, 5.0);
+  const Json* latencies = root.Find("latencies_ns");
+  ASSERT_NE(latencies, nullptr);
+  EXPECT_NE(latencies->Find("unit_exec"), nullptr);
+}
+
+// ---- Chrome trace exporter --------------------------------------------------
+
+// Records the trace of a real run touching every layer: CPU access, an NDP
+// undo-log create, a commit (cross-device sync + deferred delete) and a
+// crash with hardware recovery.
+void RecordExemplarRun(TraceRecorder* recorder) {
+  RuntimeOptions options;
+  options.mode = ExecMode::kNdpMultiDelayed;
+  options.pm_size = 16ull << 20;
+  Runtime rt(options);
+  rt.AttachTrace(recorder);
+  auto pool = rt.RegisterPool(0, 1 << 20);
+  ASSERT_TRUE(pool.ok());
+
+  const std::uint8_t line[64] = {};
+  rt.Write(0, 4096, line);
+  rt.Persist(0, 4096, sizeof(line));
+  rt.Fence(0);
+  (void)rt.Load<std::uint64_t>(0, 4096);
+
+  const PmAddr slot = 512 * 1024;
+  ASSERT_TRUE(rt.UndologCreate(*pool, 0, /*tx_id=*/1, /*old_data=*/0,
+                               /*size=*/4096, slot)
+                  .ok());
+  const PmAddr slots[] = {slot};
+  ASSERT_TRUE(rt.CommitLog(*pool, 0, slots).ok());
+  ASSERT_TRUE(rt.UndologCreate(*pool, 0, /*tx_id=*/2, /*old_data=*/8192,
+                               /*size=*/4096, slot + 8192)
+                  .ok());
+  Rng rng(7);
+  rt.InjectCrash(rng);
+}
+
+TEST(ChromeExporterTest, EmitsSchemaValidTraceForARealRun) {
+  TraceRecorder recorder;
+  RecordExemplarRun(&recorder);
+  ASSERT_GT(recorder.recorded(), 0u);
+
+  std::ostringstream os;
+  WriteChromeTrace(recorder, os);
+
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root));
+  ASSERT_TRUE(root.is(Json::Type::kObject));
+  const Json* unit = root.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ns");
+
+  const Json* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(Json::Type::kArray));
+  ASSERT_FALSE(events->arr.empty());
+
+  std::set<std::string> names;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t metadata = 0;
+  for (const Json& e : events->arr) {
+    ASSERT_TRUE(e.is(Json::Type::kObject));
+    const Json* name = e.Find("name");
+    const Json* ph = e.Find("ph");
+    const Json* pid = e.Find("pid");
+    const Json* tid = e.Find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    ASSERT_TRUE(name->is(Json::Type::kString));
+    ASSERT_TRUE(pid->is(Json::Type::kNumber));
+    ASSERT_TRUE(tid->is(Json::Type::kNumber));
+    ASSERT_TRUE(ph->str == "X" || ph->str == "i" || ph->str == "M")
+        << "unexpected phase " << ph->str;
+    if (ph->str == "M") {
+      ++metadata;
+      EXPECT_TRUE(name->str == "process_name" || name->str == "thread_name");
+      const Json* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      const Json* label = args->Find("name");
+      ASSERT_NE(label, nullptr);
+      EXPECT_FALSE(label->str.empty());
+      continue;
+    }
+    names.insert(name->str);
+    const Json* ts = e.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is(Json::Type::kNumber));
+    EXPECT_GE(ts->number, 0.0);
+    if (ph->str == "X") {
+      ++spans;
+      const Json* dur = e.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GT(dur->number, 0.0);
+    } else {
+      ++instants;
+      const Json* scope = e.Find("s");
+      ASSERT_NE(scope, nullptr);
+    }
+  }
+  EXPECT_GT(spans, 0u);
+  EXPECT_GT(instants, 0u);
+  EXPECT_GT(metadata, 0u);
+  // The run above must have produced the core lifecycle vocabulary.
+  for (const char* expected : {"cmd_post", "dev_pipeline", "unit_exec",
+                               "cpu_persist", "cpu_read", "crash"}) {
+    EXPECT_NE(names.find(expected), names.end()) << "missing " << expected;
+  }
+}
+
+TEST(ChromeExporterTest, LaysEpochsOutSequentially) {
+  // Epoch 1's clocks restart from zero; on the exported timeline its events
+  // must still land after everything in epoch 0.
+  std::vector<TraceEvent> events;
+  TraceEvent first = Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 1000);
+  first.epoch = 0;
+  first.order = 1;
+  TraceEvent second = Instant(TracePhase::kCpuFence, kTraceHostPid, 0, 0);
+  second.epoch = 1;
+  second.order = 2;
+  events.push_back(first);
+  events.push_back(second);
+
+  std::ostringstream os;
+  WriteChromeTrace(events, os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).Parse(&root));
+  const Json* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+
+  double write_ts = -1;
+  double fence_ts = -1;
+  for (const Json& e : trace_events->arr) {
+    const Json* name = e.Find("name");
+    const Json* ts = e.Find("ts");
+    if (name == nullptr || ts == nullptr) {
+      continue;
+    }
+    if (name->str == "cpu_write") {
+      write_ts = ts->number;
+    } else if (name->str == "cpu_fence") {
+      fence_ts = ts->number;
+    }
+  }
+  ASSERT_GE(write_ts, 0.0);
+  ASSERT_GE(fence_ts, 0.0);
+  EXPECT_GT(fence_ts, write_ts);
+}
+
+TEST(ChromeExporterTest, WritesFileAndReportsIoFailure) {
+  TraceRecorder recorder;
+  recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 1));
+
+  const std::string path = ::testing::TempDir() + "/nearpm_trace_test.json";
+  ASSERT_TRUE(WriteChromeTraceFile(recorder, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Json root;
+  EXPECT_TRUE(JsonParser(buffer.str()).Parse(&root));
+  EXPECT_NE(root.Find("traceEvents"), nullptr);
+
+  EXPECT_FALSE(WriteChromeTraceFile(
+      recorder, "/nonexistent-nearpm-dir/trace.json"));
+}
+
+TEST(ChromeExporterTest, TrackNamesCoverEveryResource) {
+  EXPECT_FALSE(TraceProcessName(kTraceHostPid).empty());
+  EXPECT_FALSE(TraceProcessName(kTracePciePid).empty());
+  EXPECT_FALSE(TraceProcessName(kTraceSyncPid).empty());
+  EXPECT_FALSE(TraceProcessName(TraceDevicePid(1)).empty());
+  EXPECT_FALSE(TraceThreadName(kTraceHostPid, 3).empty());
+  EXPECT_FALSE(
+      TraceThreadName(TraceDevicePid(0), kTraceDispatcherTid).empty());
+  EXPECT_FALSE(
+      TraceThreadName(TraceDevicePid(0), kTraceUnitTidBase + 2).empty());
+  EXPECT_FALSE(
+      TraceThreadName(TraceDevicePid(0), kTraceMaintenanceTid).empty());
+}
+
+}  // namespace
+}  // namespace nearpm
