@@ -31,6 +31,7 @@ PmSpaceOptions SpaceOptionsFor(const RuntimeOptions& o) {
   s.retain_crash_state = o.retain_crash_state;
   s.pending_line_survival = o.pending_line_survival;
   s.enforce_observation = o.enforce_ppo;
+  s.skip_frontier_replay = o.skip_recovery_replay;
   return s;
 }
 
@@ -594,7 +595,21 @@ CrashReport Runtime::InjectCrash(Rng& rng) {
   // The power fails "now" -- at the latest point any CPU thread reached.
   // NDP work still executing past this instant is truncated or lost.
   const SimTime crash_time = stats_.MaxThreadTime();
-  CrashReport report = space_.Crash(rng, crash_time);
+  return FinishCrash(space_.Crash(rng, crash_time), crash_time);
+}
+
+CrashReport Runtime::InjectCrashAt(const CrashPlan& plan) {
+  CrashPlan clamped = plan;
+  clamped.crash_time =
+      std::max<std::uint64_t>(plan.crash_time, stats_.MaxThreadTime());
+  // Delayed syncs that genuinely completed before the (possibly later)
+  // failure instant retire their windows first, exactly as live execution
+  // would have at the next issue.
+  HarvestSyncs(clamped.crash_time);
+  return FinishCrash(space_.Crash(clamped), clamped.crash_time);
+}
+
+CrashReport Runtime::FinishCrash(CrashReport report, SimTime crash_time) {
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCrash, .ts = crash_time,
                      .arg0 = report.frontier_sync);
 
@@ -602,7 +617,7 @@ CrashReport Runtime::InjectCrash(Rng& rng) {
   // structures and replay the requests that were still in flight -- in the
   // FIFO, i.e. not yet complete at the failure -- up to the latest
   // synchronization point all devices had reached.
-  journal_.RemoveCompletedBefore(stats_.MaxThreadTime());
+  journal_.RemoveCompletedBefore(crash_time);
   // A request whose effects are already durable (completed, or retired
   // because a dependent write-back was accepted behind it) has left the
   // FIFO: replaying it would re-execute against post-crash data.
@@ -616,7 +631,13 @@ CrashReport Runtime::InjectCrash(Rng& rng) {
     return true;  // durable everywhere, or compacted away after retirement
   };
   const InterleaveMap& il = space_.interleave();
-  for (const RecoveryJournal::Entry& e : journal_.ReplaySet(report.frontier_sync)) {
+  // The skip is the fuzzer's planted bug (see RuntimeOptions): recovery
+  // forgets the in-flight window entirely.
+  const std::vector<RecoveryJournal::Entry> replay_set =
+      options_.skip_recovery_replay
+          ? std::vector<RecoveryJournal::Entry>{}
+          : journal_.ReplaySet(report.frontier_sync);
+  for (const RecoveryJournal::Entry& e : replay_set) {
     if (already_durable(e.request.seq)) {
       continue;
     }

@@ -150,6 +150,11 @@ class Runtime {
   // mechanism recovery (undo rollback, checkpoint restore, ...) is the
   // caller's job, as in the paper.
   CrashReport InjectCrash(Rng& rng);
+  // Deterministic variant for the crash fuzzer: the failure instant and the
+  // fate of every pending CPU line come from `plan` (crash_time is clamped
+  // to the latest point any thread reached), so the resulting durable image
+  // is a pure function of the execution prefix and the plan.
+  CrashReport InjectCrashAt(const CrashPlan& plan);
 
   // ---- Observability ---------------------------------------------------------
   // Attaches `trace` (or detaches, with nullptr) to the runtime and every
@@ -176,6 +181,10 @@ class Runtime {
   // Builds the functional work decomposition of a request (used at issue
   // time and again by hardware recovery replay).
   std::vector<NdpWorkItem> BuildWork(const NearPmRequest& request);
+
+  // Shared post-failure path: hardware recovery replay, pipeline and clock
+  // resets, trace epoch advance.
+  CrashReport FinishCrash(CrashReport report, SimTime crash_time);
 
   // CPU access ordering against in-flight NDP work (Invariant 1/2).
   void HostBarrier(ThreadId t, const AddrRange& range, bool is_write);

@@ -1,0 +1,234 @@
+#include "src/fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/fuzz/fuzz_json.h"
+
+namespace nearpm {
+namespace fuzz {
+namespace {
+
+constexpr Mechanism kAllMechanisms[] = {
+    Mechanism::kLogging, Mechanism::kRedoLogging, Mechanism::kCheckpointing,
+    Mechanism::kShadowPaging};
+constexpr ExecMode kAllModes[] = {
+    ExecMode::kCpuBaseline, ExecMode::kNdpSingleDevice,
+    ExecMode::kNdpMultiSwSync, ExecMode::kNdpMultiDelayed};
+
+StatusOr<const JsonValue*> Require(const JsonObject& obj,
+                                   const std::string& key,
+                                   JsonValue::Kind kind) {
+  auto it = obj.find(key);
+  if (it == obj.end()) {
+    return InvalidArgument("repro is missing field \"" + key + "\"");
+  }
+  if (it->second.kind != kind) {
+    return InvalidArgument("repro field \"" + key + "\" has the wrong type");
+  }
+  return &it->second;
+}
+
+}  // namespace
+
+StatusOr<Mechanism> MechanismFromName(const std::string& name) {
+  for (Mechanism m : kAllMechanisms) {
+    if (name == MechanismName(m)) {
+      return m;
+    }
+  }
+  return InvalidArgument("unknown mechanism \"" + name + "\"");
+}
+
+StatusOr<ExecMode> ExecModeFromName(const std::string& name) {
+  for (ExecMode m : kAllModes) {
+    if (name == ExecModeName(m)) {
+      return m;
+    }
+  }
+  return InvalidArgument("unknown execution mode \"" + name + "\"");
+}
+
+std::string ReproToJson(const CrashRepro& repro) {
+  JsonObject obj;
+  obj["version"] = JsonValue::Uint(repro.version);
+  obj["mechanism"] = JsonValue::String(MechanismName(repro.mechanism));
+  obj["mode"] = JsonValue::String(ExecModeName(repro.mode));
+  obj["enforce_ppo"] = JsonValue::Bool(repro.enforce_ppo);
+  obj["break_recovery"] = JsonValue::Bool(repro.break_recovery);
+  obj["seed"] = JsonValue::Uint(repro.seed);
+  obj["total_ops"] = JsonValue::Uint(repro.total_ops);
+  obj["crash_step"] = JsonValue::Uint(repro.crash_step);
+  obj["mid_op"] = JsonValue::Bool(repro.mid_op);
+  obj["crash_time"] = JsonValue::Uint(repro.crash_time);
+  obj["line_survival"] = JsonValue::String(repro.line_survival);
+  obj["expect"] = JsonValue::String(repro.expect);
+  if (!repro.note.empty()) {
+    obj["note"] = JsonValue::String(repro.note);
+  }
+  return WriteJsonObject(obj);
+}
+
+StatusOr<CrashRepro> ReproFromJson(const std::string& text) {
+  auto parsed = ParseJsonObject(text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const JsonObject& obj = *parsed;
+  CrashRepro repro;
+
+  auto version = Require(obj, "version", JsonValue::Kind::kUint);
+  if (!version.ok()) {
+    return version.status();
+  }
+  repro.version = (*version)->num;
+  if (repro.version != 1) {
+    return InvalidArgument("unsupported repro version " +
+                           std::to_string(repro.version));
+  }
+
+  auto mech = Require(obj, "mechanism", JsonValue::Kind::kString);
+  if (!mech.ok()) {
+    return mech.status();
+  }
+  auto mech_value = MechanismFromName((*mech)->str);
+  if (!mech_value.ok()) {
+    return mech_value.status();
+  }
+  repro.mechanism = *mech_value;
+
+  auto mode = Require(obj, "mode", JsonValue::Kind::kString);
+  if (!mode.ok()) {
+    return mode.status();
+  }
+  auto mode_value = ExecModeFromName((*mode)->str);
+  if (!mode_value.ok()) {
+    return mode_value.status();
+  }
+  repro.mode = *mode_value;
+
+  struct BoolField {
+    const char* key;
+    bool* dst;
+  };
+  for (const BoolField& f :
+       {BoolField{"enforce_ppo", &repro.enforce_ppo},
+        BoolField{"break_recovery", &repro.break_recovery},
+        BoolField{"mid_op", &repro.mid_op}}) {
+    auto v = Require(obj, f.key, JsonValue::Kind::kBool);
+    if (!v.ok()) {
+      return v.status();
+    }
+    *f.dst = (*v)->boolean;
+  }
+
+  struct UintField {
+    const char* key;
+    std::uint64_t* dst;
+  };
+  for (const UintField& f :
+       {UintField{"seed", &repro.seed}, UintField{"total_ops", &repro.total_ops},
+        UintField{"crash_step", &repro.crash_step},
+        UintField{"crash_time", &repro.crash_time}}) {
+    auto v = Require(obj, f.key, JsonValue::Kind::kUint);
+    if (!v.ok()) {
+      return v.status();
+    }
+    *f.dst = (*v)->num;
+  }
+
+  auto survival = Require(obj, "line_survival", JsonValue::Kind::kString);
+  if (!survival.ok()) {
+    return survival.status();
+  }
+  repro.line_survival = (*survival)->str;
+  for (char c : repro.line_survival) {
+    if (c != '0' && c != '1') {
+      return InvalidArgument("line_survival must be a string of 0s and 1s");
+    }
+  }
+
+  auto expect = Require(obj, "expect", JsonValue::Kind::kString);
+  if (!expect.ok()) {
+    return expect.status();
+  }
+  repro.expect = (*expect)->str;
+  if (repro.expect != "recoverable" && repro.expect != "violation") {
+    return InvalidArgument("expect must be \"recoverable\" or \"violation\"");
+  }
+
+  if (auto it = obj.find("note"); it != obj.end()) {
+    if (it->second.kind != JsonValue::Kind::kString) {
+      return InvalidArgument("note must be a string");
+    }
+    repro.note = it->second.str;
+  }
+
+  if (repro.total_ops == 0 || repro.crash_step >= repro.total_ops) {
+    return InvalidArgument("crash_step must lie inside total_ops");
+  }
+  return repro;
+}
+
+Status SaveRepro(const CrashRepro& repro, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Unavailable("cannot open " + path + " for writing");
+  }
+  out << ReproToJson(repro);
+  out.close();
+  if (!out) {
+    return Unavailable("failed writing " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<CrashRepro> LoadRepro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto repro = ReproFromJson(text.str());
+  if (!repro.ok()) {
+    return InvalidArgument(path + ": " + repro.status().ToString());
+  }
+  return repro;
+}
+
+std::vector<std::string> ListCorpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string ReproFileName(const CrashRepro& repro) {
+  std::string name = "fuzz_";
+  name += MechanismName(repro.mechanism);
+  name += "_";
+  name += ExecModeName(repro.mode);
+  if (!repro.enforce_ppo) {
+    name += "_noppo";
+  }
+  if (repro.break_recovery) {
+    name += "_brokenrec";
+  }
+  name += "_s" + std::to_string(repro.seed);
+  name += "_op" + std::to_string(repro.crash_step);
+  name += repro.mid_op ? "m" : "c";
+  name += "_t" + std::to_string(repro.crash_time);
+  name += ".json";
+  return name;
+}
+
+}  // namespace fuzz
+}  // namespace nearpm

@@ -1,0 +1,67 @@
+// Crash-repro corpus: minimized failing (or once-failing) crash schedules,
+// persisted as flat JSON so they replay as regular regression tests.
+//
+// A repro pins everything the fuzzer needs to re-create one crash state
+// bit-for-bit: the execution-mode/mechanism pair, the op-stream seed, the
+// crash step, the candidate failure instant and the pending-line survival
+// mask. `expect` records the verdict the replay must reproduce:
+//
+//   "recoverable"  -- recovery must succeed and pass every oracle (the
+//                     regression corpus: crash states that once exposed a
+//                     bug and must stay fixed);
+//   "violation"    -- the oracle must flag the state (teeth anchors: the
+//                     Section 2.3 ablation stays *caught*, proving the
+//                     fuzzer still detects real inconsistencies).
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/options.h"
+#include "src/pmlib/provider.h"
+
+namespace nearpm {
+namespace fuzz {
+
+struct CrashRepro {
+  std::uint64_t version = 1;
+  Mechanism mechanism = Mechanism::kLogging;
+  ExecMode mode = ExecMode::kNdpMultiDelayed;
+  bool enforce_ppo = true;
+  bool break_recovery = false;  // fault-injected recovery (self-test repros)
+  std::uint64_t seed = 1;       // op-stream derivation seed
+  std::uint64_t total_ops = 1;
+  std::uint64_t crash_step = 0;
+  bool mid_op = false;          // power fails before the step's CommitOp
+  std::uint64_t crash_time = 0; // absolute failure instant (0 = "now")
+  // One '0'/'1' per pending CPU line in ascending address order ('1' = the
+  // line happened to be written back before the failure).
+  std::string line_survival;
+  std::string expect = "recoverable";
+  std::string note;
+};
+
+// Name <-> enum helpers (canonical names from MechanismName/ExecModeName).
+StatusOr<Mechanism> MechanismFromName(const std::string& name);
+StatusOr<ExecMode> ExecModeFromName(const std::string& name);
+
+std::string ReproToJson(const CrashRepro& repro);
+StatusOr<CrashRepro> ReproFromJson(const std::string& text);
+
+Status SaveRepro(const CrashRepro& repro, const std::string& path);
+StatusOr<CrashRepro> LoadRepro(const std::string& path);
+
+// Sorted paths of every *.json under `dir` (empty when the directory does
+// not exist).
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+// Stable file name for a repro: fuzz_<mech>_<mode>[_noppo]_s<seed>_....json
+std::string ReproFileName(const CrashRepro& repro);
+
+}  // namespace fuzz
+}  // namespace nearpm
+
+#endif  // SRC_FUZZ_CORPUS_H_

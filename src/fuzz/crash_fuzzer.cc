@@ -1,0 +1,631 @@
+#include "src/fuzz/crash_fuzzer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/pmlib/heap.h"
+#include "src/trace/crash_cursor.h"
+#include "src/trace/ppo_checker.h"
+#include "src/trace/recorder.h"
+
+namespace nearpm {
+namespace fuzz {
+namespace {
+
+constexpr std::uint64_t kInitialBalance = 1000;
+constexpr std::uint64_t kAccountStride = 2048;  // spans the interleave stripes
+constexpr std::uint64_t kBlobSize = 4096;       // big enough for in-flight DMA
+
+// One workload operation. Transfers move money between two accounts (two
+// small stores pages apart, so one op spans both interleaved devices); blob
+// fills rewrite a page-sized object (a large undo/redo/shadow copy stays in
+// flight at the crash, the Section 2.3 shape).
+struct Op {
+  bool blob = false;
+  int from = 0;
+  int to = 1;
+  std::uint64_t amount = 0;
+  std::uint8_t fill = 0;
+};
+
+std::vector<Op> DeriveOps(std::uint64_t seed, std::uint64_t n, int accounts) {
+  Rng r(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Op op;
+    op.blob = r.NextBool(0.25);
+    if (op.blob) {
+      // Fill bytes are 1..255: the pool starts zeroed, so every blob state
+      // (including "never written") is distinguishable.
+      op.fill = static_cast<std::uint8_t>(1 + r.NextBounded(255));
+    } else {
+      op.from = static_cast<int>(r.NextBounded(accounts));
+      op.to = (op.from + 1 +
+               static_cast<int>(r.NextBounded(accounts - 1))) %
+              accounts;
+      op.amount = r.Next() % 1000;
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// Pure reference model of the workload state.
+struct ModelState {
+  std::vector<std::uint64_t> balances;
+  int blob_fill = 0;  // 0..255, or -1 for a torn (non-uniform) blob
+
+  bool operator==(const ModelState& o) const {
+    return balances == o.balances && blob_fill == o.blob_fill;
+  }
+};
+
+void ApplyOp(ModelState* s, const Op& op) {
+  if (op.blob) {
+    s->blob_fill = op.fill;
+    return;
+  }
+  const std::uint64_t moved = op.amount % (s->balances[op.from] + 1);
+  s->balances[op.from] -= moved;
+  s->balances[op.to] += moved;
+}
+
+std::string DescribeState(const ModelState& s) {
+  std::string out = "balances=[";
+  for (std::size_t i = 0; i < s.balances.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    out += std::to_string(s.balances[i]);
+  }
+  out += "] blob=";
+  out += s.blob_fill < 0 ? "torn" : std::to_string(s.blob_fill);
+  return out;
+}
+
+// Evenly subsamples `values` down to at most `keep` entries, always keeping
+// the first and last.
+std::vector<SimTime> Subsample(std::vector<SimTime> values, std::size_t keep) {
+  if (keep == 0 || values.size() <= keep) {
+    return values;
+  }
+  if (keep == 1) {
+    return {values.front()};
+  }
+  std::vector<SimTime> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.push_back(values[i * (values.size() - 1) / (keep - 1)]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// Maps a non-OK harness status (setup or op execution, not an oracle) onto
+// the result. Harness failures are reported as kRecoverError with a
+// "harness:" detail prefix: they mean the engine, not the machine, broke.
+bool HarnessOk(const Status& s, const char* what, CaseResult* result) {
+  if (s.ok()) {
+    return true;
+  }
+  result->failure = FailureKind::kRecoverError;
+  result->detail = std::string("harness: ") + what + ": " + s.ToString();
+  return false;
+}
+
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t case_index) {
+  std::uint64_t x = seed * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
+  x ^= (case_index + 1) * 0x2545F4914F6CDD1Dull;
+  return x;
+}
+
+}  // namespace
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kRecoverError:
+      return "recover_error";
+    case FailureKind::kStateMismatch:
+      return "state_mismatch";
+    case FailureKind::kUncommittedDurable:
+      return "uncommitted_durable";
+    case FailureKind::kPostRecoveryMismatch:
+      return "post_recovery_mismatch";
+    case FailureKind::kPpoViolation:
+      return "ppo_violation";
+  }
+  return "unknown";
+}
+
+struct CrashFuzzer::Env {
+  std::unique_ptr<TraceRecorder> recorder;
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<PersistentHeap> heap;
+  std::vector<Op> ops;
+  std::vector<ModelState> ref;  // ref[k] = state after k committed ops
+  std::uint64_t committed = 0;
+
+  PmAddr AccountAddr(int i) const {
+    return heap->root() + static_cast<PmAddr>(i) * kAccountStride;
+  }
+  PmAddr BlobAddr(int accounts) const {
+    return heap->root() + static_cast<PmAddr>(accounts) * kAccountStride;
+  }
+
+  Status RunOp(const Op& op, int accounts, bool commit) {
+    NEARPM_RETURN_IF_ERROR(heap->BeginOp(0));
+    if (op.blob) {
+      std::vector<std::uint8_t> bytes(kBlobSize, op.fill);
+      NEARPM_RETURN_IF_ERROR(heap->Write(0, BlobAddr(accounts), bytes));
+    } else {
+      auto a = heap->Load<std::uint64_t>(0, AccountAddr(op.from));
+      if (!a.ok()) {
+        return a.status();
+      }
+      auto b = heap->Load<std::uint64_t>(0, AccountAddr(op.to));
+      if (!b.ok()) {
+        return b.status();
+      }
+      const std::uint64_t moved = op.amount % (*a + 1);
+      NEARPM_RETURN_IF_ERROR(
+          heap->Store<std::uint64_t>(0, AccountAddr(op.from), *a - moved));
+      NEARPM_RETURN_IF_ERROR(
+          heap->Store<std::uint64_t>(0, AccountAddr(op.to), *b + moved));
+    }
+    if (!commit) {
+      return Status::Ok();  // the power fails inside this operation
+    }
+    return heap->CommitOp(0);
+  }
+
+  StatusOr<ModelState> ReadState(int accounts) {
+    ModelState s;
+    s.balances.resize(accounts);
+    for (int i = 0; i < accounts; ++i) {
+      auto v = heap->Load<std::uint64_t>(0, AccountAddr(i));
+      if (!v.ok()) {
+        return v.status();
+      }
+      s.balances[i] = *v;
+    }
+    std::vector<std::uint8_t> blob(kBlobSize);
+    NEARPM_RETURN_IF_ERROR(heap->Read(0, BlobAddr(accounts), blob));
+    s.blob_fill = blob[0];
+    for (std::uint8_t b : blob) {
+      if (b != blob[0]) {
+        s.blob_fill = -1;  // torn
+        break;
+      }
+    }
+    return s;
+  }
+};
+
+bool CrashFuzzer::ExecutePrefix(const FuzzCase& c, Env* env,
+                                CaseResult* result) const {
+  RuntimeOptions opts;
+  opts.mode = config_.mode;
+  opts.pm_size = config_.pm_size;
+  opts.enforce_ppo = config_.enforce_ppo;
+  opts.skip_recovery_replay = config_.break_recovery;
+  env->recorder = std::make_unique<TraceRecorder>();
+  env->rt = std::make_unique<Runtime>(opts);
+  env->rt->AttachTrace(env->recorder.get());
+
+  PoolArena arena(0);
+  HeapOptions ho;
+  ho.mechanism = config_.mechanism;
+  ho.data_size = config_.data_size;
+  ho.ckpt_epoch_ops = config_.ckpt_epoch_ops;
+  auto heap = PersistentHeap::Create(*env->rt, arena, ho);
+  if (!heap.ok()) {
+    return HarnessOk(heap.status(), "heap create", result);
+  }
+  env->heap = std::move(*heap);
+
+  // Mint: one committed op giving every account its initial balance.
+  Status mint = env->heap->BeginOp(0);
+  for (int i = 0; mint.ok() && i < config_.accounts; ++i) {
+    mint = env->heap->Store<std::uint64_t>(0, env->AccountAddr(i),
+                                           kInitialBalance);
+  }
+  if (mint.ok()) {
+    mint = env->heap->CommitOp(0);
+  }
+  if (!HarnessOk(mint, "mint", result)) {
+    return false;
+  }
+  env->rt->DrainDevices(0);
+
+  ModelState initial;
+  initial.balances.assign(config_.accounts, kInitialBalance);
+  initial.blob_fill = 0;  // the pool starts zeroed
+  env->ref.push_back(initial);
+
+  env->ops = DeriveOps(c.seed, c.total_ops, config_.accounts);
+  for (std::uint64_t step = 0; step <= c.crash_step; ++step) {
+    const bool last = step == c.crash_step;
+    const bool commit = !(last && c.mid_op);
+    if (!HarnessOk(env->RunOp(env->ops[step], config_.accounts, commit),
+                   "workload op", result)) {
+      return false;
+    }
+    if (commit) {
+      ModelState next = env->ref.back();
+      ApplyOp(&next, env->ops[step]);
+      env->ref.push_back(std::move(next));
+      ++env->committed;
+    }
+  }
+  return true;
+}
+
+ProbeResult CrashFuzzer::Probe(const FuzzCase& c) const {
+  ProbeResult out;
+  Env env;
+  CaseResult scratch;
+  if (!ExecutePrefix(c, &env, &scratch)) {
+    return out;
+  }
+  CrashCursorOptions co;
+  co.epoch = env.recorder->epoch();
+  co.min_time = env.rt->stats().MaxThreadTime();
+  out.candidates = EnumerateCrashPoints(*env.recorder, co);
+  out.pending_lines = env.rt->space().PendingLineAddrs().size();
+  return out;
+}
+
+CaseResult CrashFuzzer::Run(const FuzzCase& c) const {
+  Env env;
+  CaseResult result;
+  if (!ExecutePrefix(c, &env, &result)) {
+    return result;
+  }
+  return RunOracles(c, &env);
+}
+
+CaseResult CrashFuzzer::RunOracles(const FuzzCase& c, Env* env) const {
+  CaseResult result;
+  result.committed = env->committed;
+
+  CrashPlan plan;
+  plan.crash_time = c.crash_time;  // 0 clamps to "now" inside InjectCrashAt
+  plan.line_survival = c.line_survival;
+  env->rt->InjectCrashAt(plan);
+  env->heap->DropVolatile();
+
+  // Oracle 1: recovery must succeed.
+  Status rec = env->heap->Recover();
+  if (!rec.ok()) {
+    result.failure = FailureKind::kRecoverError;
+    result.detail = rec.ToString();
+    return result;
+  }
+
+  // Oracle 2: the recovered state equals the reference state after some
+  // prefix of the committed operations.
+  auto got = env->ReadState(config_.accounts);
+  if (!HarnessOk(got.status(), "read recovered state", &result)) {
+    return result;
+  }
+  bool matched = false;
+  ModelState matched_state;
+  for (std::uint64_t k = env->committed + 1; k-- > 0;) {
+    if (*got == env->ref[k]) {
+      result.matched_prefix = k;
+      matched_state = env->ref[k];
+      matched = true;
+      break;
+    }
+  }
+  if (!matched && config_.mechanism == Mechanism::kCheckpointing) {
+    // Checkpointing recovers to the last closed epoch, and the mint itself
+    // sits in a still-open epoch until ckpt_epoch_ops commits have passed:
+    // rolling back to the pristine pool is a legal recovery target.
+    ModelState genesis;
+    genesis.balances.assign(config_.accounts, 0);
+    genesis.blob_fill = 0;
+    if (*got == genesis) {
+      result.matched_prefix = 0;
+      matched_state = genesis;
+      matched = true;
+    }
+  }
+  if (!matched) {
+    if (c.mid_op) {
+      ModelState full = env->ref.back();
+      ApplyOp(&full, env->ops[c.crash_step]);
+      if (*got == full) {
+        // The op the power interrupted is durable in full although it never
+        // committed -- its log/shadow vanished with the crash. This is the
+        // Section 2.3 lost-recovery-data symptom.
+        result.failure = FailureKind::kUncommittedDurable;
+        result.detail =
+            "uncommitted op " + std::to_string(c.crash_step) +
+            " is fully durable after recovery: " + DescribeState(*got);
+        return result;
+      }
+    }
+    result.failure = FailureKind::kStateMismatch;
+    result.detail = "recovered state matches no committed prefix (committed=" +
+                    std::to_string(env->committed) +
+                    "): " + DescribeState(*got) +
+                    "; last committed: " + DescribeState(env->ref.back());
+    return result;
+  }
+
+  // Without PPO the machine makes no ordering promises, before or after the
+  // crash: the ablation's oracle is the recovery-state check above, and the
+  // trace is expected to violate the invariants. Stop here.
+  if (!config_.enforce_ppo) {
+    return result;
+  }
+
+  // Oracle 3: the recovered heap behaves exactly like the model afterwards.
+  ModelState model = matched_state;
+  Rng post(c.seed ^ 0xA5EED5EED5EEDull);
+  for (int i = 0; i < 5; ++i) {
+    Op op;
+    op.from = static_cast<int>(post.NextBounded(config_.accounts));
+    op.to = (op.from + 1 +
+             static_cast<int>(post.NextBounded(config_.accounts - 1))) %
+            config_.accounts;
+    op.amount = post.Next() % 500;
+    if (!HarnessOk(env->RunOp(op, config_.accounts, /*commit=*/true),
+                   "post-recovery op", &result)) {
+      return result;
+    }
+    ApplyOp(&model, op);
+  }
+  env->rt->DrainDevices(0);
+  auto after = env->ReadState(config_.accounts);
+  if (!HarnessOk(after.status(), "read post-recovery state", &result)) {
+    return result;
+  }
+  if (!(*after == model)) {
+    result.failure = FailureKind::kPostRecoveryMismatch;
+    result.detail = "post-recovery divergence: " + DescribeState(*after) +
+                    "; model: " + DescribeState(model);
+    return result;
+  }
+
+  // Oracle 4: the full trace (pre-crash epoch and recovery epoch) satisfies
+  // the Section 4 PPO invariants.
+  const auto violations = PpoChecker{}.Check(*env->recorder);
+  if (!violations.empty()) {
+    result.failure = FailureKind::kPpoViolation;
+    result.detail = PpoChecker::Report(violations);
+    return result;
+  }
+  return result;
+}
+
+SweepStats CrashFuzzer::Systematic(std::uint64_t seed, std::uint64_t ops,
+                                   std::size_t max_candidates,
+                                   std::vector<FuzzFailure>* failures) const {
+  SweepStats stats;
+  for (std::uint64_t step = 0; step < ops; ++step) {
+    for (const bool mid : {false, true}) {
+      FuzzCase base;
+      base.seed = seed;
+      base.total_ops = ops;
+      base.crash_step = step;
+      base.mid_op = mid;
+      const ProbeResult probe = Probe(base);
+      std::vector<SimTime> candidates =
+          Subsample(probe.candidates, max_candidates);
+      if (candidates.empty()) {
+        candidates.push_back(0);  // "right now" always exists
+      }
+      for (const SimTime t : candidates) {
+        for (const bool survive : {false, true}) {
+          FuzzCase c = base;
+          c.crash_time = t;
+          c.line_survival.assign(probe.pending_lines, survive);
+          const CaseResult r = Run(c);
+          ++stats.cases;
+          if (!r.ok()) {
+            ++stats.failures;
+            if (failures != nullptr) {
+              failures->push_back(FuzzFailure{c, r});
+            }
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FuzzCase CrashFuzzer::BuildSweepCase(std::uint64_t seed,
+                                     std::uint64_t case_index) const {
+  Rng r(MixSeed(seed, case_index));
+  FuzzCase c;
+  c.seed = seed;
+  c.total_ops = 3 + r.NextBounded(10);
+  c.crash_step = r.NextBounded(c.total_ops);
+  c.mid_op = r.NextBool(0.4);
+  const ProbeResult probe = Probe(c);
+  if (!probe.candidates.empty()) {
+    c.crash_time = probe.candidates[r.NextBounded(probe.candidates.size())];
+  }
+  c.line_survival.resize(probe.pending_lines);
+  for (std::size_t i = 0; i < c.line_survival.size(); ++i) {
+    c.line_survival[i] = r.NextBool(0.5);
+  }
+  return c;
+}
+
+SweepStats CrashFuzzer::RandomSweep(std::uint64_t first_seed,
+                                    std::uint64_t num_seeds,
+                                    int cases_per_seed,
+                                    std::vector<FuzzFailure>* failures) const {
+  SweepStats stats;
+  for (std::uint64_t s = first_seed; s < first_seed + num_seeds; ++s) {
+    for (int i = 0; i < cases_per_seed; ++i) {
+      const FuzzCase c = BuildSweepCase(s, static_cast<std::uint64_t>(i));
+      const CaseResult r = Run(c);
+      ++stats.cases;
+      if (!r.ok()) {
+        ++stats.failures;
+        if (failures != nullptr) {
+          failures->push_back(FuzzFailure{c, r});
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+FuzzCase CrashFuzzer::Shrink(const FuzzCase& failing,
+                             CaseResult* result) const {
+  // Failure class: ordering violations shrink against ordering violations;
+  // every state-corruption kind (recover error, mismatch, uncommitted
+  // durable, post-recovery divergence) is one class, so the minimal repro
+  // may surface the same bug under a simpler symptom.
+  const auto cls = [](FailureKind k) {
+    return k == FailureKind::kPpoViolation ? 1 : 0;
+  };
+
+  CaseResult orig = Run(failing);
+  if (orig.ok()) {
+    *result = orig;  // not reproducible; hand the case back untouched
+    return failing;
+  }
+  FuzzCase best = failing;
+  CaseResult best_result = orig;
+
+  // 1. Drop the ops after the crash step (they never execute anyway, but a
+  //    smaller schedule reads better in a repro file).
+  if (best.total_ops > best.crash_step + 1) {
+    FuzzCase t = best;
+    t.total_ops = t.crash_step + 1;
+    const CaseResult r = Run(t);
+    if (!r.ok() && cls(r.failure) == cls(orig.failure)) {
+      best = t;
+      best_result = r;
+    }
+  }
+
+  // 2. Earliest failing crash step, earliest failing candidate instant,
+  //    under the two extreme survival masks.
+  bool found = false;
+  for (std::uint64_t step = 0; !found && step < best.crash_step; ++step) {
+    for (const bool mid : {false, true}) {
+      FuzzCase base;
+      base.seed = best.seed;
+      base.total_ops = step + 1;
+      base.crash_step = step;
+      base.mid_op = mid;
+      const ProbeResult probe = Probe(base);
+      std::vector<SimTime> candidates = Subsample(probe.candidates, 16);
+      if (candidates.empty()) {
+        candidates.push_back(0);
+      }
+      for (const SimTime t : candidates) {
+        for (const bool survive : {false, true}) {
+          FuzzCase c = base;
+          c.crash_time = t;
+          c.line_survival.assign(probe.pending_lines, survive);
+          const CaseResult r = Run(c);
+          if (!r.ok() && cls(r.failure) == cls(orig.failure)) {
+            best = c;
+            best_result = r;
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+      }
+      if (found) {
+        break;
+      }
+    }
+  }
+
+  // 3. Minimal survival mask: all-drop if it still fails, else greedily
+  //    clear individual bits.
+  const auto set_bits = [](const std::vector<bool>& v) {
+    return std::count(v.begin(), v.end(), true);
+  };
+  if (set_bits(best.line_survival) > 0) {
+    FuzzCase t = best;
+    t.line_survival.assign(t.line_survival.size(), false);
+    const CaseResult r = Run(t);
+    if (!r.ok() && cls(r.failure) == cls(orig.failure)) {
+      best = t;
+      best_result = r;
+    } else {
+      for (std::size_t i = 0; i < best.line_survival.size(); ++i) {
+        if (!best.line_survival[i]) {
+          continue;
+        }
+        FuzzCase u = best;
+        u.line_survival[i] = false;
+        const CaseResult ru = Run(u);
+        if (!ru.ok() && cls(ru.failure) == cls(orig.failure)) {
+          best = u;
+          best_result = ru;
+        }
+      }
+    }
+  }
+
+  *result = best_result;
+  return best;
+}
+
+CrashRepro CrashFuzzer::ToRepro(const FuzzCase& c, const std::string& expect,
+                                const std::string& note) const {
+  CrashRepro r;
+  r.mechanism = config_.mechanism;
+  r.mode = config_.mode;
+  r.enforce_ppo = config_.enforce_ppo;
+  r.break_recovery = config_.break_recovery;
+  r.seed = c.seed;
+  r.total_ops = c.total_ops;
+  r.crash_step = c.crash_step;
+  r.mid_op = c.mid_op;
+  r.crash_time = c.crash_time;
+  r.line_survival.reserve(c.line_survival.size());
+  for (const bool bit : c.line_survival) {
+    r.line_survival.push_back(bit ? '1' : '0');
+  }
+  r.expect = expect;
+  r.note = note;
+  return r;
+}
+
+FuzzConfig CrashFuzzer::ConfigFromRepro(const CrashRepro& repro) {
+  FuzzConfig config;
+  config.mechanism = repro.mechanism;
+  config.mode = repro.mode;
+  config.enforce_ppo = repro.enforce_ppo;
+  config.break_recovery = repro.break_recovery;
+  return config;
+}
+
+FuzzCase CrashFuzzer::CaseFromRepro(const CrashRepro& repro) {
+  FuzzCase c;
+  c.seed = repro.seed;
+  c.total_ops = repro.total_ops;
+  c.crash_step = repro.crash_step;
+  c.mid_op = repro.mid_op;
+  c.crash_time = repro.crash_time;
+  c.line_survival.reserve(repro.line_survival.size());
+  for (const char bit : repro.line_survival) {
+    c.line_survival.push_back(bit == '1');
+  }
+  return c;
+}
+
+}  // namespace fuzz
+}  // namespace nearpm

@@ -1,0 +1,208 @@
+#include "src/fuzz/fuzz_json.h"
+
+#include <cctype>
+
+namespace nearpm {
+namespace fuzz {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonObject> Object() {
+    JsonObject out;
+    SkipWs();
+    if (!Consume('{')) {
+      return InvalidArgument("expected '{'");
+    }
+    SkipWs();
+    if (Consume('}')) {
+      return out;
+    }
+    while (true) {
+      SkipWs();
+      auto key = QuotedString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return InvalidArgument("expected ':' after key \"" + *key + "\"");
+      }
+      SkipWs();
+      auto value = Value();
+      if (!value.ok()) {
+        return value.status();
+      }
+      out[*key] = *value;
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        break;
+      }
+      return InvalidArgument("expected ',' or '}' after value of \"" + *key +
+                             "\"");
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return InvalidArgument("trailing characters after object");
+    }
+    return out;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> QuotedString() {
+    if (!Consume('"')) {
+      return InvalidArgument("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return InvalidArgument("dangling escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            return InvalidArgument("unsupported escape sequence");
+        }
+      }
+      out.push_back(c);
+    }
+    if (!Consume('"')) {
+      return InvalidArgument("unterminated string");
+    }
+    return out;
+  }
+
+  StatusOr<JsonValue> Value() {
+    if (pos_ >= text_.size()) {
+      return InvalidArgument("expected a value");
+    }
+    const char c = text_[pos_];
+    if (c == '"') {
+      auto s = QuotedString();
+      if (!s.ok()) {
+        return s.status();
+      }
+      return JsonValue::String(*s);
+    }
+    if (ConsumeWord("true")) {
+      return JsonValue::Bool(true);
+    }
+    if (ConsumeWord("false")) {
+      return JsonValue::Bool(false);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::uint64_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        n = n * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      return JsonValue::Uint(n);
+    }
+    return InvalidArgument("unsupported value (only strings, unsigned "
+                           "integers and booleans are allowed)");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+StatusOr<JsonObject> ParseJsonObject(std::string_view text) {
+  return Parser(text).Object();
+}
+
+std::string WriteJsonObject(const JsonObject& object) {
+  std::string out = "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : object) {
+    out.append("  ");
+    AppendEscaped(key, &out);
+    out.append(": ");
+    switch (value.kind) {
+      case JsonValue::Kind::kString:
+        AppendEscaped(value.str, &out);
+        break;
+      case JsonValue::Kind::kUint:
+        out.append(std::to_string(value.num));
+        break;
+      case JsonValue::Kind::kBool:
+        out.append(value.boolean ? "true" : "false");
+        break;
+    }
+    if (++i != object.size()) {
+      out.push_back(',');
+    }
+    out.push_back('\n');
+  }
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace nearpm

@@ -1,0 +1,61 @@
+// Minimal flat-JSON support for fuzz repro files.
+//
+// Corpus repros are intentionally one flat object of scalars so a failing
+// crash schedule stays a human-readable, hand-editable artifact. This is a
+// deliberately tiny reader/writer for exactly that shape -- string, unsigned
+// integer and boolean values, no nesting -- not a general JSON library (the
+// repo has none, and pulling one in for five fields is not worth it).
+#ifndef SRC_FUZZ_FUZZ_JSON_H_
+#define SRC_FUZZ_FUZZ_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace nearpm {
+namespace fuzz {
+
+struct JsonValue {
+  enum class Kind { kString, kUint, kBool };
+  Kind kind = Kind::kString;
+  std::string str;
+  std::uint64_t num = 0;
+  bool boolean = false;
+
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind = Kind::kString;
+    v.str = std::move(s);
+    return v;
+  }
+  static JsonValue Uint(std::uint64_t n) {
+    JsonValue v;
+    v.kind = Kind::kUint;
+    v.num = n;
+    return v;
+  }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+};
+
+// Key-sorted so serialization is deterministic (repro files diff cleanly).
+using JsonObject = std::map<std::string, JsonValue>;
+
+// Parses one flat JSON object. Rejects nesting, arrays, floats and negative
+// numbers -- the repro schema needs none of them.
+StatusOr<JsonObject> ParseJsonObject(std::string_view text);
+
+// Pretty-prints with one "key": value per line and a trailing newline.
+std::string WriteJsonObject(const JsonObject& object);
+
+}  // namespace fuzz
+}  // namespace nearpm
+
+#endif  // SRC_FUZZ_FUZZ_JSON_H_

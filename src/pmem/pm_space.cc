@@ -279,7 +279,39 @@ std::uint64_t PmSpace::live_request_count(DeviceId device) const {
   return n;
 }
 
+std::vector<PmAddr> PmSpace::PendingLineAddrs() const {
+  std::vector<PmAddr> lines;
+  lines.reserve(pending_.size());
+  for (const auto& [line, old_bytes] : pending_) {
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
 CrashReport PmSpace::Crash(Rng& rng, std::uint64_t crash_time) {
+  // Keeps the historical sampling order (map iteration) so seeded test
+  // sweeps reproduce the same crash states as before the plan API existed.
+  return CrashWith(crash_time, [&](PmAddr) {
+    return rng.NextBool(options_.pending_line_survival);
+  });
+}
+
+CrashReport PmSpace::Crash(const CrashPlan& plan) {
+  const std::vector<PmAddr> ranked = PendingLineAddrs();
+  std::unordered_map<PmAddr, bool> survive_by_line;
+  survive_by_line.reserve(ranked.size());
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    survive_by_line[ranked[i]] =
+        i < plan.line_survival.size() && plan.line_survival[i];
+  }
+  return CrashWith(plan.crash_time, [&](PmAddr line) {
+    return survive_by_line[line];
+  });
+}
+
+template <typename SurviveFn>
+CrashReport PmSpace::CrashWith(std::uint64_t crash_time, SurviveFn&& survive) {
   CrashReport report;
   assert(options_.retain_crash_state);
 
@@ -291,7 +323,7 @@ CrashReport PmSpace::Crash(Rng& rng, std::uint64_t crash_time) {
   //    collected for the write-back guard repair below.
   std::vector<PmAddr> survivor_lines;
   for (auto& [line, old_bytes] : pending_) {
-    if (rng.NextBool(options_.pending_line_survival)) {
+    if (survive(line)) {
       ++report.cpu_lines_survived;
       survivor_lines.push_back(line);
     } else {
@@ -385,7 +417,7 @@ CrashReport PmSpace::Crash(Rng& rng, std::uint64_t crash_time) {
     }
   }
   report.frontier_sync = frontier;
-  if (frontier != 0) {
+  if (frontier != 0 && !options_.skip_frontier_replay) {
     for (std::size_t d = 0; d < num_devices; ++d) {
       DeviceLog& log = device_logs_[d];
       std::size_t pos = 0;

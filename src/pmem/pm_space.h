@@ -66,6 +66,17 @@ struct CrashReport {
   std::vector<std::unordered_map<std::uint64_t, CrashOutcome>> outcomes;
 };
 
+// Fully deterministic crash specification, the unit the crash fuzzer
+// explores and replays. `crash_time` is the failure instant on the device
+// timeline (clamped to "now" by the caller); `line_survival` decides, for
+// every pending CPU cacheline in ascending address order, whether the line
+// happened to be written back before the power failed. Lines beyond the
+// vector's length are dropped, so an empty plan is "all caches lost".
+struct CrashPlan {
+  std::uint64_t crash_time = 0;
+  std::vector<bool> line_survival;
+};
+
 struct PmSpaceOptions {
   std::uint64_t size = 64ull << 20;
   int num_devices = 2;
@@ -81,6 +92,11 @@ struct PmSpaceOptions {
   // guarantees of PPO, so crashes can produce the inconsistent images of
   // Section 2.3.
   bool enforce_observation = true;
+  // Fault injection for the crash fuzzer's self-test: disables the
+  // synchronization repair (Invariant 3) that models hardware recovery's
+  // replay of the journalled in-flight window, producing the broken images
+  // a forgotten frontier replay would leave behind.
+  bool skip_frontier_replay = false;
 };
 
 class PmSpace {
@@ -148,6 +164,13 @@ class PmSpace {
   // the call `current_` equals the durable image and all bookkeeping is
   // empty.
   CrashReport Crash(Rng& rng, std::uint64_t crash_time);
+  // Deterministic variant: pending-line survival comes from the plan's mask
+  // instead of coin flips, so a crash state can be re-created exactly.
+  CrashReport Crash(const CrashPlan& plan);
+
+  // Pending CPU line base addresses in ascending order -- the rank order
+  // CrashPlan::line_survival indexes.
+  std::vector<PmAddr> PendingLineAddrs() const;
 
   // Clean shutdown / quiesce: everything recorded is durable.
   void Quiesce();
@@ -187,6 +210,11 @@ class PmSpace {
     // (sync_id, absolute record position at marker time)
     std::vector<std::pair<std::uint64_t, std::size_t>> sync_positions;
   };
+
+  // Shared crash core; `survive` answers whether a given pending line was
+  // written back before the failure (called once per line).
+  template <typename SurviveFn>
+  CrashReport CrashWith(std::uint64_t crash_time, SurviveFn&& survive);
 
   void CheckRange(PmAddr addr, std::uint64_t len) const;
   void SnapshotPendingLine(PmAddr line_base);

@@ -150,7 +150,9 @@ Status CheckpointProvider::RecoverThread(ThreadId t) {
     // Only pre-images of the open (uncommitted) epoch roll back. A slot with
     // an invalid checksum means its page was never modified afterwards (the
     // copy is ordered before the first update), so skipping it is safe.
-    if (valid && header.tag == open_epoch) {
+    // skip_recovery_replay: fault injection -- scrub without restoring.
+    if (valid && header.tag == open_epoch &&
+        !rt.options().skip_recovery_replay) {
       rt.Write(t, header.target, payload);
       rt.Persist(t, header.target, header.size);
       ++pages_restored_;

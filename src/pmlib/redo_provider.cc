@@ -140,8 +140,10 @@ Status RedoLogProvider::RecoverThread(ThreadId t) {
   Runtime& rt = pool_->rt();
   const CcArea area = pool_->cc_area(t);
   const TxRecord rec = rt.Load<TxRecord>(t, area.TxRecordAddr());
+  // skip_recovery_replay: fault injection -- scrub without reapplying.
   const bool reapply =
-      rec.state == static_cast<std::uint64_t>(TxState::kCommitted);
+      rec.state == static_cast<std::uint64_t>(TxState::kCommitted) &&
+      !rt.options().skip_recovery_replay;
 
   std::vector<std::uint8_t> payload;
   for (std::size_t i = 0; i < kLogSlots; ++i) {

@@ -162,9 +162,11 @@ Status ShadowPagingProvider::RecoverThread(ThreadId t) {
   Runtime& rt = pool_->rt();
   const PmAddr rec_addr = pool_->cc_area(t).SwitchRecordAddr();
   const SwitchRecord rec = rt.Load<SwitchRecord>(t, rec_addr);
+  // skip_recovery_replay: fault injection -- disarm without rolling forward.
   if (rec.magic == kSwitchMagic && rec.count <= kMaxSwitchEntries &&
       Checksum64({reinterpret_cast<const std::uint8_t*>(rec.entries),
-                  rec.count * 16}) == rec.checksum) {
+                  rec.count * 16}) == rec.checksum &&
+      !rt.options().skip_recovery_replay) {
     // Roll the switch forward: shadow pages were persisted before arming.
     for (std::uint64_t i = 0; i < rec.count; ++i) {
       rt.Store<std::uint64_t>(t, PteAddr(rec.entries[i].vpage),

@@ -122,8 +122,11 @@ Status UndoLogProvider::RecoverThread(ThreadId t) {
   Runtime& rt = pool_->rt();
   const CcArea area = pool_->cc_area(t);
   const TxRecord rec = rt.Load<TxRecord>(t, area.TxRecordAddr());
+  // skip_recovery_replay is the fuzzer's fault injection: scrub the journal
+  // without replaying it, as a recovery that forgot the frontier would.
   const bool rollback =
-      rec.state == static_cast<std::uint64_t>(TxState::kActive);
+      rec.state == static_cast<std::uint64_t>(TxState::kActive) &&
+      !rt.options().skip_recovery_replay;
 
   // Walk the slots newest-first so overlapping snapshots restore the oldest
   // pre-image last.

@@ -1,0 +1,51 @@
+#include "src/trace/crash_cursor.h"
+
+#include <algorithm>
+
+namespace nearpm {
+namespace {
+
+bool PersistRelevant(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kCmdPost:
+    case TracePhase::kFifoEnqueue:
+    case TracePhase::kUnitExec:
+    case TracePhase::kDeferredExec:
+    case TracePhase::kSyncMarker:
+    case TracePhase::kSyncComplete:
+    case TracePhase::kWritebackAccepted:
+    case TracePhase::kRetire:
+    case TracePhase::kCpuPersist:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<SimTime> EnumerateCrashPoints(const std::vector<TraceEvent>& events,
+                                          const CrashCursorOptions& options) {
+  std::vector<SimTime> points;
+  points.push_back(options.min_time);
+  for (const TraceEvent& ev : events) {
+    if (ev.epoch != options.epoch || !PersistRelevant(ev.phase)) {
+      continue;
+    }
+    points.push_back(ev.ts);
+    points.push_back(ev.ts + 1);
+    if (ev.is_span()) {
+      points.push_back(ev.end());
+      points.push_back(ev.end() + 1);
+      if (options.midpoints) {
+        points.push_back(ev.ts + ev.dur / 2);
+      }
+    }
+  }
+  std::erase_if(points, [&](SimTime t) { return t < options.min_time; });
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  return points;
+}
+
+}  // namespace nearpm

@@ -1,0 +1,50 @@
+// Crash-point enumeration over a recorded trace epoch.
+//
+// The crash fuzzer's systematic mode wants to fail the power "after every
+// persist-relevant event" rather than at one sampled instant. This cursor
+// derives the candidate failure instants from the trace itself: every
+// boundary at which the durable image can change -- a command post reaching
+// the FIFO, a unit starting or finishing execution, a DMA caught mid-copy,
+// a synchronization issued or completed, a write-back accepted -- yields one
+// or two candidate times. Crashing at two times between which no candidate
+// lies produces the same durable image, so sweeping the candidates covers
+// the whole reachable crash-state space of one execution prefix (up to the
+// pending-line survival mask, which CrashPlan explores separately).
+#ifndef SRC_TRACE_CRASH_CURSOR_H_
+#define SRC_TRACE_CRASH_CURSOR_H_
+
+#include <vector>
+
+#include "src/trace/recorder.h"
+#include "src/trace/trace_event.h"
+
+namespace nearpm {
+
+struct CrashCursorOptions {
+  // Only events of this trace epoch are considered (virtual clocks restart
+  // at a crash, so timestamps from different epochs are incomparable).
+  std::uint32_t epoch = 0;
+  // Candidates strictly below this are clamped away (times before "now" on
+  // the CPU clock cannot be failed at anymore); min_time itself is always a
+  // candidate -- the classic "power fails right now".
+  SimTime min_time = 0;
+  // Include the midpoint of every execution span (a DMA mid-copy state).
+  bool midpoints = true;
+};
+
+// Sorted, deduplicated candidate crash instants derived from
+// persist-relevant events: kCmdPost, kFifoEnqueue, kUnitExec, kDeferredExec,
+// kSyncMarker, kSyncComplete, kWritebackAccepted, kRetire, kCpuPersist.
+// Span phases contribute begin, end and end+1 (the instants just inside and
+// just past the boundary); instants contribute ts and ts+1.
+std::vector<SimTime> EnumerateCrashPoints(const std::vector<TraceEvent>& events,
+                                          const CrashCursorOptions& options);
+
+inline std::vector<SimTime> EnumerateCrashPoints(
+    const TraceRecorder& recorder, const CrashCursorOptions& options) {
+  return EnumerateCrashPoints(recorder.Snapshot(), options);
+}
+
+}  // namespace nearpm
+
+#endif  // SRC_TRACE_CRASH_CURSOR_H_

@@ -1,0 +1,70 @@
+// Replays every minimized crash repro committed under tests/fuzz_corpus/ as
+// an individual test case. Repros with expect="recoverable" are regression
+// anchors (a crash state that must keep recovering cleanly); repros with
+// expect="violation" are teeth anchors (states the oracle must keep
+// flagging, e.g. the Section 2.3 ablation).
+//
+// NEARPM_FUZZ_CORPUS_DIR is injected by the build (tests/CMakeLists.txt)
+// and points at the source-tree corpus directory.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_fuzzer.h"
+
+namespace nearpm {
+namespace fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  return ListCorpus(NEARPM_FUZZ_CORPUS_DIR);
+}
+
+TEST(FuzzCorpusTest, CorpusIsPresent) {
+  EXPECT_FALSE(CorpusFiles().empty())
+      << "no repro files under " << NEARPM_FUZZ_CORPUS_DIR;
+}
+
+class FuzzCorpusReplayTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpusReplayTest, ReplayMatchesExpectation) {
+  auto repro = LoadRepro(GetParam());
+  ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+
+  CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
+  const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
+  const CaseResult r = fuzzer.Run(c);
+  if (repro->expect == "violation") {
+    EXPECT_FALSE(r.ok())
+        << "a once-flagged crash state passed the oracle; if the machine "
+           "became stricter on purpose, refresh this repro ("
+        << GetParam() << ")";
+  } else {
+    EXPECT_TRUE(r.ok()) << FailureKindName(r.failure) << ": " << r.detail
+                        << " (" << GetParam() << ")";
+  }
+}
+
+std::string TestNameForPath(const std::string& path) {
+  // Strip the directory and sanitize for gtest (alphanumerics only).
+  std::string name = path.substr(path.find_last_of('/') + 1);
+  for (char& ch : name) {
+    if ((ch < 'a' || ch > 'z') && (ch < 'A' || ch > 'Z') &&
+        (ch < '0' || ch > '9')) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpusReplayTest,
+                         ::testing::ValuesIn(CorpusFiles()),
+                         [](const auto& corpus_info) {
+                           return TestNameForPath(corpus_info.param);
+                         });
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace nearpm

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against a committed baseline.
+
+The simulator's benchmarks report deterministic model counters (simulated
+nanoseconds, speedups, cost-category percentages), so any deviation from the
+committed baseline is a real behavioral change, not measurement noise. CI
+runs the smoke benchmarks with --json-out and fails the build when a counter
+drifts more than the tolerance (default 25%) from bench/baselines/*.json.
+
+Usage:
+    check_bench.py --baseline bench/baselines/fig17_smoke.json \
+                   --current fig17.json [--tolerance 0.25]
+
+Exit code 0 when every counter is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# google-benchmark bookkeeping fields: not model counters, never compared.
+STANDARD_FIELDS = {
+    "family_index",
+    "per_family_instance_index",
+    "repetitions",
+    "repetition_index",
+    "threads",
+    "iterations",
+    "real_time",
+    "cpu_time",
+}
+
+
+def counters(benchmark):
+    """Model counters of one benchmark entry: custom numeric fields only."""
+    return {
+        key: float(value)
+        for key, value in benchmark.items()
+        if isinstance(value, (int, float)) and key not in STANDARD_FIELDS
+    }
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["name"]: counters(b) for b in data["benchmarks"]}
+
+
+def relative_drift(old, new):
+    if old == new:
+        return 0.0
+    # Zero baselines compare absolutely: a counter appearing out of nowhere
+    # is exactly the kind of change the gate exists to flag.
+    return abs(new - old) / (abs(old) if old != 0 else 1.0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced --json-out JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum relative drift per counter "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failures = []
+    checked = 0
+    for name, base_counters in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current results")
+            continue
+        for key, old in sorted(base_counters.items()):
+            if key not in current[name]:
+                failures.append(f"{name}: counter {key} disappeared")
+                continue
+            new = current[name][key]
+            drift = relative_drift(old, new)
+            checked += 1
+            marker = "FAIL" if drift > args.tolerance else "ok"
+            print(f"{marker:4} {name} {key}: baseline={old:g} "
+                  f"current={new:g} drift={drift:.1%}")
+            if drift > args.tolerance:
+                failures.append(
+                    f"{name}: {key} drifted {drift:.1%} "
+                    f"({old:g} -> {new:g}, tolerance {args.tolerance:.0%})")
+
+    print(f"{checked} counters checked against {args.baseline}, "
+          f"{len(failures)} failures")
+    if failures:
+        print("\nbench regression gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate the baseline with "
+              "the same benchmark command and commit it.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

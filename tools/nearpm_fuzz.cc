@@ -1,0 +1,347 @@
+// nearpm_fuzz: command-line driver for the crash-state fuzzer.
+//
+// Modes (combinable flags, one run = one mode):
+//
+//   --seeds=N            randomized deep sweep over N seeds (default 20)
+//   --systematic=OPS     exhaustive crash-point sweep of one OPS-long
+//                        schedule per configuration
+//   --replay=SEED:CASE   re-run exactly one sweep case (the fuzzer's output
+//                        names failures this way)
+//   --corpus=DIR         replay every minimized repro under DIR and check
+//                        its recorded expectation
+//
+// Configuration selection: --mechanism / --mode accept one canonical name
+// or "all" (default), --enforce-ppo=0 runs the Section 2.3 ablation,
+// --break-recovery fault-injects the hardware recovery. Failing schedules
+// are shrunk to a minimal repro; --out=DIR persists them as corpus JSON.
+// --expect-failures inverts the exit code: the run succeeds only if the
+// fuzzer caught at least one violation in every configuration (CI uses this
+// to prove the oracle has teeth).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_fuzzer.h"
+
+namespace nearpm {
+namespace fuzz {
+namespace {
+
+struct CliOptions {
+  std::uint64_t seeds = 20;
+  std::uint64_t first_seed = 1;
+  int cases_per_seed = 3;
+  std::uint64_t systematic_ops = 0;  // 0 = off
+  std::size_t max_candidates = 24;
+  std::string mechanism = "all";
+  std::string mode = "all";
+  bool enforce_ppo = true;
+  bool break_recovery = false;
+  bool expect_failures = false;
+  bool have_replay = false;
+  std::uint64_t replay_seed = 0;
+  std::uint64_t replay_case = 0;
+  std::string corpus_dir;
+  std::string out_dir;
+  int max_shrinks = 3;  // shrunk + reported failures per configuration
+};
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool MatchFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seeds=N] [--first-seed=S] [--cases-per-seed=K]\n"
+      "          [--systematic=OPS] [--max-candidates=N]\n"
+      "          [--mechanism=logging|redo_logging|checkpointing|"
+      "shadow_paging|all]\n"
+      "          [--mode=baseline|nearpm_sd|nearpm_md_swsync|nearpm_md|all]\n"
+      "          [--enforce-ppo=0|1] [--break-recovery]\n"
+      "          [--replay=SEED:CASE] [--corpus=DIR] [--out=DIR]\n"
+      "          [--expect-failures]\n",
+      argv0);
+  return 2;
+}
+
+std::string MaskToString(const std::vector<bool>& mask) {
+  std::string s;
+  s.reserve(mask.size());
+  for (const bool b : mask) {
+    s.push_back(b ? '1' : '0');
+  }
+  return s.empty() ? "-" : s;
+}
+
+void PrintCase(const char* tag, const FuzzCase& c, const CaseResult& r) {
+  std::printf("  %s seed=%" PRIu64 " ops=%" PRIu64 " crash_step=%" PRIu64
+              "%s time=%" PRIu64 " mask=%s: %s%s%s\n",
+              tag, c.seed, c.total_ops, c.crash_step, c.mid_op ? "m" : "c",
+              c.crash_time, MaskToString(c.line_survival).c_str(),
+              FailureKindName(r.failure), r.detail.empty() ? "" : ": ",
+              r.detail.c_str());
+}
+
+struct Combo {
+  Mechanism mechanism;
+  ExecMode mode;
+};
+
+int ReplayCorpus(const CliOptions& cli) {
+  const std::vector<std::string> files = ListCorpus(cli.corpus_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "no corpus files under %s\n", cli.corpus_dir.c_str());
+    return 1;
+  }
+  int bad = 0;
+  for (const std::string& path : files) {
+    auto repro = LoadRepro(path);
+    if (!repro.ok()) {
+      std::printf("ERROR %s: %s\n", path.c_str(),
+                  repro.status().ToString().c_str());
+      ++bad;
+      continue;
+    }
+    CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
+    const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
+    const CaseResult r = fuzzer.Run(c);
+    const bool want_failure = repro->expect == "violation";
+    const bool pass = want_failure ? !r.ok() : r.ok();
+    std::printf("%s %s (%s/%s expect=%s got=%s)\n", pass ? "OK  " : "FAIL",
+                path.c_str(), MechanismName(repro->mechanism),
+                ExecModeName(repro->mode), repro->expect.c_str(),
+                FailureKindName(r.failure));
+    if (!pass) {
+      if (!r.detail.empty()) {
+        std::printf("  %s\n", r.detail.c_str());
+      }
+      ++bad;
+    }
+  }
+  std::printf("corpus: %zu repros, %d failures\n", files.size(), bad);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int FuzzMain(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (MatchFlag(arg, "--seeds", &value) && value != nullptr) {
+      if (!ParseUint(value, &cli.seeds)) return Usage(argv[0]);
+    } else if (MatchFlag(arg, "--first-seed", &value) && value != nullptr) {
+      if (!ParseUint(value, &cli.first_seed)) return Usage(argv[0]);
+    } else if (MatchFlag(arg, "--cases-per-seed", &value) && value != nullptr) {
+      std::uint64_t n = 0;
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.cases_per_seed = static_cast<int>(n);
+    } else if (MatchFlag(arg, "--systematic", &value)) {
+      cli.systematic_ops = 6;
+      if (value != nullptr && !ParseUint(value, &cli.systematic_ops)) {
+        return Usage(argv[0]);
+      }
+    } else if (MatchFlag(arg, "--max-candidates", &value) && value != nullptr) {
+      std::uint64_t n = 0;
+      if (!ParseUint(value, &n)) return Usage(argv[0]);
+      cli.max_candidates = static_cast<std::size_t>(n);
+    } else if (MatchFlag(arg, "--mechanism", &value) && value != nullptr) {
+      cli.mechanism = value;
+    } else if (MatchFlag(arg, "--mode", &value) && value != nullptr) {
+      cli.mode = value;
+    } else if (MatchFlag(arg, "--enforce-ppo", &value) && value != nullptr) {
+      cli.enforce_ppo = std::strcmp(value, "0") != 0;
+    } else if (MatchFlag(arg, "--break-recovery", &value)) {
+      cli.break_recovery = true;
+    } else if (MatchFlag(arg, "--expect-failures", &value)) {
+      cli.expect_failures = true;
+    } else if (MatchFlag(arg, "--replay", &value) && value != nullptr) {
+      const char* colon = std::strchr(value, ':');
+      if (colon == nullptr) return Usage(argv[0]);
+      const std::string seed_text(value, colon);
+      if (!ParseUint(seed_text.c_str(), &cli.replay_seed) ||
+          !ParseUint(colon + 1, &cli.replay_case)) {
+        return Usage(argv[0]);
+      }
+      cli.have_replay = true;
+    } else if (MatchFlag(arg, "--corpus", &value) && value != nullptr) {
+      cli.corpus_dir = value;
+    } else if (MatchFlag(arg, "--out", &value) && value != nullptr) {
+      cli.out_dir = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!cli.corpus_dir.empty()) {
+    return ReplayCorpus(cli);
+  }
+
+  std::vector<Mechanism> mechanisms;
+  if (cli.mechanism == "all") {
+    mechanisms = {Mechanism::kLogging, Mechanism::kRedoLogging,
+                  Mechanism::kCheckpointing, Mechanism::kShadowPaging};
+  } else {
+    auto m = MechanismFromName(cli.mechanism);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    mechanisms = {*m};
+  }
+  std::vector<ExecMode> modes;
+  if (cli.mode == "all") {
+    modes = {ExecMode::kCpuBaseline, ExecMode::kNdpSingleDevice,
+             ExecMode::kNdpMultiSwSync, ExecMode::kNdpMultiDelayed};
+  } else {
+    auto m = ExecModeFromName(cli.mode);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return Usage(argv[0]);
+    }
+    modes = {*m};
+  }
+
+  SweepStats total;
+  int configs_with_failures = 0;
+  int configs = 0;
+  for (const Mechanism mech : mechanisms) {
+    for (const ExecMode mode : modes) {
+      ++configs;
+      FuzzConfig config;
+      config.mechanism = mech;
+      config.mode = mode;
+      config.enforce_ppo = cli.enforce_ppo;
+      config.break_recovery = cli.break_recovery;
+      CrashFuzzer fuzzer(config);
+
+      std::vector<FuzzFailure> failures;
+      SweepStats stats;
+      if (cli.have_replay) {
+        const FuzzCase c =
+            fuzzer.BuildSweepCase(cli.replay_seed, cli.replay_case);
+        const CaseResult r = fuzzer.Run(c);
+        ++stats.cases;
+        if (!r.ok()) {
+          ++stats.failures;
+          failures.push_back(FuzzFailure{c, r});
+        }
+        PrintCase(r.ok() ? "ok" : "FAIL", c, r);
+        if (!cli.out_dir.empty() && r.ok()) {
+          // A green replayed case saved explicitly becomes a regression
+          // anchor: the corpus test keeps proving it recovers cleanly.
+          const CrashRepro repro = fuzzer.ToRepro(c, "recoverable",
+                                                  "sweep regression anchor");
+          const std::string path = cli.out_dir + "/" + ReproFileName(repro);
+          const Status saved = SaveRepro(repro, path);
+          if (saved.ok()) {
+            std::printf("  repro: %s\n", path.c_str());
+          } else {
+            std::fprintf(stderr, "  cannot save repro: %s\n",
+                         saved.ToString().c_str());
+          }
+        }
+      } else {
+        if (cli.systematic_ops > 0) {
+          const SweepStats s = fuzzer.Systematic(
+              cli.first_seed, cli.systematic_ops, cli.max_candidates,
+              &failures);
+          stats.cases += s.cases;
+          stats.failures += s.failures;
+        }
+        if (cli.seeds > 0) {
+          const SweepStats s = fuzzer.RandomSweep(
+              cli.first_seed, cli.seeds, cli.cases_per_seed, &failures);
+          stats.cases += s.cases;
+          stats.failures += s.failures;
+        }
+      }
+      total.cases += stats.cases;
+      total.failures += stats.failures;
+      if (stats.failures > 0) {
+        ++configs_with_failures;
+      }
+
+      std::printf("[%s/%s] %" PRIu64 " cases, %" PRIu64 " failures\n",
+                  MechanismName(mech), ExecModeName(mode), stats.cases,
+                  stats.failures);
+      int shrunk = 0;
+      for (const FuzzFailure& f : failures) {
+        if (shrunk >= cli.max_shrinks) {
+          std::printf("  (%zu more failures not shown)\n",
+                      failures.size() - static_cast<std::size_t>(shrunk));
+          break;
+        }
+        ++shrunk;
+        PrintCase("FAIL", f.fuzz_case, f.result);
+        CaseResult min_result;
+        const FuzzCase minimal = fuzzer.Shrink(f.fuzz_case, &min_result);
+        PrintCase("  min", minimal, min_result);
+        if (!cli.out_dir.empty() && !min_result.ok()) {
+          const CrashRepro repro =
+              fuzzer.ToRepro(minimal, "violation", min_result.detail);
+          const std::string path = cli.out_dir + "/" + ReproFileName(repro);
+          const Status saved = SaveRepro(repro, path);
+          if (saved.ok()) {
+            std::printf("  repro: %s\n", path.c_str());
+          } else {
+            std::fprintf(stderr, "  cannot save repro: %s\n",
+                         saved.ToString().c_str());
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("total: %" PRIu64 " cases, %" PRIu64
+              " failures across %d configurations\n",
+              total.cases, total.failures, configs);
+  if (cli.expect_failures) {
+    // Teeth check: every configuration must have tripped the oracle.
+    if (configs_with_failures == configs) {
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "expected violations in every configuration, but %d of %d "
+                 "stayed green\n",
+                 configs - configs_with_failures, configs);
+    return 1;
+  }
+  return total.failures == 0 ? 0 : 1;
+}
+
+}  // namespace fuzz
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  return nearpm::fuzz::FuzzMain(argc, argv);
+}
