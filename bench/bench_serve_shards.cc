@@ -1,0 +1,123 @@
+// Serving-layer scaling: throughput and latency of the sharded KV front end
+// as independent NearPM machines are added.
+//
+// Not a paper figure -- this measures the src/serve subsystem the repo adds
+// on top of the paper's single-machine model: N shards, bounded queues,
+// request batching (one doorbell/fence per batch) and periodic cross-shard
+// MultiPuts. Every number is deterministic simulated time from the Pump
+// path, so the committed baseline gates regressions exactly.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/serve/service.h"
+
+namespace nearpm {
+namespace bench {
+namespace {
+
+struct ServeRun {
+  double throughput_ops_per_sec = 0;
+  double makespan_ns = 0;
+  double p99_ns = 0;
+  double txns = 0;
+};
+
+ServeRun RunServe(int shards, int batch_max, std::uint64_t requests,
+                  std::uint64_t multiput_every) {
+  serve::ServeOptions so;
+  so.shards = shards;
+  so.workers_per_shard = 2;
+  so.queue_capacity = 128;
+  so.batch_max = batch_max;
+  auto svc = serve::KvService::Create(so);
+  if (!svc.ok()) {
+    std::abort();
+  }
+
+  std::uint64_t submitted = 0;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    serve::ServeRequest req;
+    if (multiput_every > 0 && i % multiput_every == 0) {
+      req.kind = serve::RequestKind::kMultiPut;
+      for (std::uint64_t j = 0; j < 4; ++j) {
+        const std::uint64_t key = 100000 + i + j * 31;
+        req.pairs.push_back(
+            serve::KvPair{key, std::vector<std::uint8_t>(8, 1)});
+      }
+    } else if (i % 3 == 2) {
+      req.kind = serve::RequestKind::kGet;
+      req.key = i / 2;
+    } else {
+      req.kind = serve::RequestKind::kPut;
+      req.key = i;
+      req.value = std::vector<std::uint8_t>(8, 2);
+    }
+    if ((*svc)->Submit(std::move(req)).ok()) {
+      ++submitted;
+    } else {
+      (*svc)->Pump();  // backpressure: drain, then retry deterministically
+      --i;
+    }
+  }
+  (*svc)->Pump();
+
+  const serve::ServeStats stats = (*svc)->Stats();
+  ServeRun run;
+  run.throughput_ops_per_sec = stats.throughput_ops_per_sec;
+  run.makespan_ns = static_cast<double>(stats.makespan_ns);
+  run.p99_ns = static_cast<double>(stats.request_p99_ns);
+  run.txns = static_cast<double>(stats.txns);
+  if ((*svc)->PpoViolations() > 0) {
+    std::abort();  // the bench must never trade correctness for speed
+  }
+  return run;
+}
+
+void RegisterAll() {
+  for (int shards : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        ("serve/shards:" + std::to_string(shards)).c_str(),
+        [shards](benchmark::State& state) {
+          ServeRun run;
+          for (auto _ : state) {
+            run = RunServe(shards, /*batch_max=*/8, /*requests=*/600,
+                           /*multiput_every=*/50);
+          }
+          state.counters["throughput_ops_per_sec"] = run.throughput_ops_per_sec;
+          state.counters["makespan_ns"] = run.makespan_ns;
+          state.counters["p99_ns"] = run.p99_ns;
+          state.counters["txns"] = run.txns;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // The amortization knob at fixed shard count: per-request doorbell/fence
+  // versus one per batch of 8.
+  for (int batch : {1, 8}) {
+    benchmark::RegisterBenchmark(
+        ("serve/batch:" + std::to_string(batch)).c_str(),
+        [batch](benchmark::State& state) {
+          ServeRun run;
+          for (auto _ : state) {
+            run = RunServe(/*shards=*/2, batch, /*requests=*/600,
+                           /*multiput_every=*/0);
+          }
+          state.counters["throughput_ops_per_sec"] = run.throughput_ops_per_sec;
+          state.counters["makespan_ns"] = run.makespan_ns;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nearpm
+
+int main(int argc, char** argv) {
+  nearpm::bench::RegisterAll();
+  return nearpm::bench::BenchMain(argc, argv, "serve_shards");
+}

@@ -29,22 +29,39 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 Histogram::Histogram() = default;
 
+Histogram::Histogram(const Histogram& other) { *this = other; }
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  // Copies are snapshots: relaxed loads of a (possibly concurrently written)
+  // source, plain stores into the fresh destination.
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  total_.store(other.total_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  return *this;
+}
+
 void Histogram::Add(std::uint64_t value) {
   const int bucket = value == 0 ? 0 : std::bit_width(value);
-  buckets_[bucket >= kBuckets ? kBuckets - 1 : bucket] += 1;
-  ++total_;
+  buckets_[bucket >= kBuckets ? kBuckets - 1 : bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::Percentile(double q) const {
-  if (total_ == 0) {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) {
     return 0;
   }
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1));
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen > target) {
       return i == 0 ? 0 : (1ULL << i) - 1;  // bucket upper bound
     }
@@ -57,7 +74,7 @@ std::string Histogram::ToString() const {
   out += "p50=" + std::to_string(Percentile(0.50));
   out += " p90=" + std::to_string(Percentile(0.90));
   out += " p99=" + std::to_string(Percentile(0.99));
-  out += " n=" + std::to_string(total_);
+  out += " n=" + std::to_string(count());
   return out;
 }
 

@@ -3,6 +3,7 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -10,7 +11,7 @@
 
 namespace nearpm {
 
-// Welford online mean / variance accumulator.
+// Welford online mean / variance accumulator. Single-threaded.
 class RunningStat {
  public:
   void Add(double x);
@@ -31,21 +32,25 @@ class RunningStat {
 };
 
 // Fixed-bucket latency histogram with percentile queries (power-of-two
-// bucketing, values in arbitrary units).
+// bucketing, values in arbitrary units). Add() is safe to call from
+// concurrent threads; queries are accurate once writers have quiesced
+// (concurrent queries see some valid intermediate population).
 class Histogram {
  public:
   Histogram();
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
 
   void Add(std::uint64_t value);
-  std::uint64_t count() const { return total_; }
+  std::uint64_t count() const { return total_.load(std::memory_order_relaxed); }
   // Returns an upper bound for the q-quantile (q in [0,1]).
   std::uint64_t Percentile(double q) const;
   std::string ToString() const;
 
  private:
   static constexpr int kBuckets = 64;
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> total_{0};
 };
 
 // Geometric mean of a set of ratios (the paper reports average speedups).

@@ -68,6 +68,18 @@ std::string ReproToJson(const CrashRepro& repro) {
   if (!repro.note.empty()) {
     obj["note"] = JsonValue::String(repro.note);
   }
+  // "kind" is omitted for bank repros so pre-serve corpus files stay
+  // byte-identical round-trip.
+  if (repro.kind != "bank") {
+    obj["kind"] = JsonValue::String(repro.kind);
+    obj["serve_shards"] = JsonValue::Uint(repro.serve_shards);
+    obj["serve_warmup_ops"] = JsonValue::Uint(repro.serve_warmup_ops);
+    obj["serve_txn_pairs"] = JsonValue::Uint(repro.serve_txn_pairs);
+    obj["serve_phase"] = JsonValue::String(repro.serve_phase);
+    obj["serve_apply_ordinal"] = JsonValue::Uint(repro.serve_apply_ordinal);
+    obj["serve_survive"] = JsonValue::Bool(repro.serve_survive);
+    obj["serve_break_txn_redo"] = JsonValue::Bool(repro.serve_break_txn_redo);
+  }
   return WriteJsonObject(obj);
 }
 
@@ -166,6 +178,45 @@ StatusOr<CrashRepro> ReproFromJson(const std::string& text) {
     repro.note = it->second.str;
   }
 
+  if (auto it = obj.find("kind"); it != obj.end()) {
+    if (it->second.kind != JsonValue::Kind::kString) {
+      return InvalidArgument("kind must be a string");
+    }
+    repro.kind = it->second.str;
+  }
+  if (repro.kind == "serve") {
+    for (const UintField& f :
+         {UintField{"serve_shards", &repro.serve_shards},
+          UintField{"serve_warmup_ops", &repro.serve_warmup_ops},
+          UintField{"serve_txn_pairs", &repro.serve_txn_pairs},
+          UintField{"serve_apply_ordinal", &repro.serve_apply_ordinal}}) {
+      auto v = Require(obj, f.key, JsonValue::Kind::kUint);
+      if (!v.ok()) {
+        return v.status();
+      }
+      *f.dst = (*v)->num;
+    }
+    for (const BoolField& f :
+         {BoolField{"serve_survive", &repro.serve_survive},
+          BoolField{"serve_break_txn_redo", &repro.serve_break_txn_redo}}) {
+      auto v = Require(obj, f.key, JsonValue::Kind::kBool);
+      if (!v.ok()) {
+        return v.status();
+      }
+      *f.dst = (*v)->boolean;
+    }
+    auto phase = Require(obj, "serve_phase", JsonValue::Kind::kString);
+    if (!phase.ok()) {
+      return phase.status();
+    }
+    repro.serve_phase = (*phase)->str;
+    if (repro.serve_shards == 0 || repro.serve_txn_pairs == 0) {
+      return InvalidArgument("serve repro needs shards and txn pairs >= 1");
+    }
+  } else if (repro.kind != "bank") {
+    return InvalidArgument("unknown repro kind \"" + repro.kind + "\"");
+  }
+
   if (repro.total_ops == 0 || repro.crash_step >= repro.total_ops) {
     return InvalidArgument("crash_step must lie inside total_ops");
   }
@@ -212,6 +263,25 @@ std::vector<std::string> ListCorpus(const std::string& dir) {
 }
 
 std::string ReproFileName(const CrashRepro& repro) {
+  if (repro.kind == "serve") {
+    std::string name = "serve_";
+    name += ExecModeName(repro.mode);
+    if (!repro.enforce_ppo) {
+      name += "_noppo";
+    }
+    if (repro.break_recovery) {
+      name += "_skiprec";
+    }
+    if (repro.serve_break_txn_redo) {
+      name += "_brokentxn";
+    }
+    name += "_s" + std::to_string(repro.seed);
+    name += "_" + repro.serve_phase;
+    name += std::to_string(repro.serve_apply_ordinal);
+    name += repro.serve_survive ? "_surv" : "_drop";
+    name += ".json";
+    return name;
+  }
   std::string name = "fuzz_";
   name += MechanismName(repro.mechanism);
   name += "_";

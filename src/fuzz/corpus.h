@@ -42,6 +42,22 @@ struct CrashRepro {
   std::string line_survival;
   std::string expect = "recoverable";
   std::string note;
+
+  // ---- serve-kind repros ----------------------------------------------------
+  // kind "bank" (the default, and what a file without a "kind" field means)
+  // replays the single-runtime bank-ledger fuzzer above. kind "serve" replays
+  // a sharded cross-shard MultiPut crash through serve::ServeFuzzer; the
+  // shared fields keep their meaning (seed, mode, enforce_ppo;
+  // break_recovery maps to skip_recovery_replay) and the fields below pin
+  // the transaction crash point.
+  std::string kind = "bank";  // "bank" | "serve"
+  std::uint64_t serve_shards = 3;
+  std::uint64_t serve_warmup_ops = 6;   // committed single-shard puts first
+  std::uint64_t serve_txn_pairs = 4;    // pairs in the crashed MultiPut
+  std::string serve_phase = "none";     // TxnStopPhase name
+  std::uint64_t serve_apply_ordinal = 0;
+  bool serve_survive = false;           // uniform pending-line survival
+  bool serve_break_txn_redo = false;    // fault-injected intent redo
 };
 
 // Name <-> enum helpers (canonical names from MechanismName/ExecModeName).

@@ -46,6 +46,25 @@ Status SyncStateMachine::ReceiveRemoteComplete(DeviceId remote) {
   return Status::Ok();
 }
 
+void SyncStateMachine::Reset() {
+  state_ = State::kAllComplete;
+  local_done_ = false;
+  std::fill(remote_done_.begin(), remote_done_.end(), false);
+}
+
+int SyncStateMachine::remotes_pending() const {
+  if (state_ != State::kExecuting) {
+    return 0;
+  }
+  int pending = 0;
+  for (bool done : remote_done_) {
+    if (!done) {
+      ++pending;
+    }
+  }
+  return pending;
+}
+
 void SyncStateMachine::MaybeComplete() {
   if (!local_done_) {
     return;

@@ -37,8 +37,18 @@ class SyncStateMachine {
   // A remote device signalled completion.
   Status ReceiveRemoteComplete(DeviceId remote);
 
+  // Abandons an in-flight command and returns to All-Complete, e.g. when the
+  // coordinator aborts a cross-device transaction after a participant failed.
+  // Completion signals for the abandoned command are rejected like any other
+  // out-of-order signal. No-op when already All-Complete.
+  void Reset();
+
   // True when local and all remote completions have been observed (state C).
   bool AllComplete() const { return state_ == State::kAllComplete; }
+
+  bool local_done() const { return local_done_; }
+  // Number of remote participants whose completion is still outstanding.
+  int remotes_pending() const;
 
   std::uint64_t commands_tracked() const { return commands_tracked_; }
 

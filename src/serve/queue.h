@@ -1,0 +1,90 @@
+// Bounded MPMC request queue with non-blocking admission.
+//
+// Admission control is the producer side: TryPush never blocks, so a full
+// queue surfaces as an immediate rejection the caller can turn into a
+// caller-visible ResourceExhausted (backpressure) instead of unbounded
+// buffering. The consumer side blocks (worker threads) or polls
+// (deterministic pump mode). Close() wakes every blocked consumer for
+// shutdown.
+#ifndef SRC_SERVE_QUEUE_H_
+#define SRC_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace nearpm {
+namespace serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  // Admission: false when the queue is full or closed (the item is not
+  // consumed, so the caller can retry or report backpressure).
+  bool TryPush(T& item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Non-blocking consume (deterministic pump mode).
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Blocking consume; empty optional means the queue closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace nearpm
+
+#endif  // SRC_SERVE_QUEUE_H_

@@ -1,0 +1,57 @@
+// ShardRouter: hash-partitions the key space across N serving shards.
+//
+// Every shard is an independent Runtime + NearPM device group, so routing is
+// the only place the service decides which simulated machine owns a key. The
+// split must be stable (recovery re-routes the same keys to the same shards)
+// and well mixed (adjacent keys land on different shards, so a MultiPut over
+// a small key neighbourhood still exercises the cross-shard path), hence a
+// splitmix64 finalizer rather than a plain modulo of the raw key.
+#ifndef SRC_SERVE_ROUTER_H_
+#define SRC_SERVE_ROUTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nearpm {
+namespace serve {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {}
+
+  int num_shards() const { return num_shards_; }
+
+  int ShardFor(std::uint64_t key) const {
+    return static_cast<int>(Mix(key) % static_cast<std::uint64_t>(num_shards_));
+  }
+
+  // Distinct participating shards of a multi-key operation, ascending. The
+  // coordinator of a cross-shard transaction is the first entry.
+  std::vector<int> ParticipantsFor(
+      const std::vector<std::uint64_t>& keys) const {
+    std::vector<int> shards;
+    shards.reserve(keys.size());
+    for (std::uint64_t key : keys) {
+      shards.push_back(ShardFor(key));
+    }
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+    return shards;
+  }
+
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace serve
+}  // namespace nearpm
+
+#endif  // SRC_SERVE_ROUTER_H_

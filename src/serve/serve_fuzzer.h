@@ -1,0 +1,143 @@
+// Crash-state fuzzing for the sharded serving layer: the cross-shard
+// analogue of src/fuzz/crash_fuzzer.h.
+//
+// Every case is fully deterministic: a seeded warmup (committed and drained
+// single-shard puts through the queue/batch path), a committed-but-undrained
+// tail (puts whose device requests are still in flight at the failure, so
+// hardware journal replay has real work to do), then one cross-shard
+// MultiPut abandoned at a chosen TxnStopPhase, a power failure on every
+// shard with a uniform pending-line survival mask, and RecoverAll().
+//
+// Oracles:
+//  * recovery must succeed on every shard;
+//  * drained warmup data must survive bit-for-bit (kLostCommitted);
+//  * every undrained tail key must be atomic -- absent or exactly its new
+//    value, never torn (kTornWrite);
+//  * a deliberately uncommitted put left open at the failure (undo log
+//    durable, CommitOp never issued) must be rolled back
+//    (kUncommittedDurable; this is what catches the skip_recovery_replay
+//    ablation, which scrubs the log without applying it);
+//  * the crashed MultiPut must be all-or-nothing across shards, and since
+//    every stop phase lies after the intent became durable, recovery's
+//    intent redo must make it all-or-ALL (kTornTxn; catches break_txn_redo);
+//  * the recorded traces must satisfy the Section 4 PPO invariants
+//    (kPpoViolation; catches the enforce_ppo ablation);
+//  * the recovered service must serve fresh puts, gets and MultiPuts
+//    exactly (kPostRecoveryMismatch).
+#ifndef SRC_SERVE_SERVE_FUZZER_H_
+#define SRC_SERVE_SERVE_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_fuzzer.h"
+#include "src/serve/service.h"
+
+namespace nearpm {
+namespace serve {
+
+struct ServeFuzzConfig {
+  int shards = 3;
+  ExecMode mode = ExecMode::kNdpMultiDelayed;
+  bool enforce_ppo = true;
+  bool skip_recovery_replay = false;  // ablation: broken hardware replay
+  bool break_txn_redo = false;        // ablation: intents scrubbed, not redone
+  std::uint32_t table_slots = 64;
+  std::uint32_t value_size = 32;
+};
+
+// One deterministic crash schedule. Keys and values derive from the seed;
+// the stop phase pins where inside the cross-shard protocol the power fails.
+struct ServeFuzzCase {
+  std::uint64_t seed = 1;
+  std::uint64_t warmup_ops = 6;  // committed + drained before the txn
+  std::uint64_t txn_pairs = 4;   // pairs in the crashed MultiPut
+  TxnStopPhase phase = TxnStopPhase::kNone;
+  int apply_ordinal = 0;       // participant ordinal for the *Apply phases
+  // Failure instant as an offset from each shard's own clock at the stop
+  // point (0 = "right now"). Shard timelines are independent, so an offset
+  // lands the failure inside every shard's in-flight window at once --
+  // Probe() enumerates the interesting offsets from the shard traces.
+  std::uint64_t crash_offset = 0;
+  bool lines_survive = false;  // uniform survival for every pending CPU line
+};
+
+enum class ServeFailureKind : std::uint8_t {
+  kNone = 0,
+  kHarness,               // the schedule itself could not be executed
+  kRecoverError,          // RecoverAll returned an error
+  kLostCommitted,         // drained warmup data missing or wrong
+  kTornWrite,             // an undrained tail put recovered half-applied
+  kUncommittedDurable,    // an open (uncommitted) put was not rolled back
+  kTornTxn,               // the MultiPut recovered partially across shards
+  kPpoViolation,          // a shard trace violates a Section 4 invariant
+  kPostRecoveryMismatch,  // the recovered service misbehaves afterwards
+};
+
+const char* ServeFailureKindName(ServeFailureKind kind);
+
+struct ServeCaseResult {
+  ServeFailureKind failure = ServeFailureKind::kNone;
+  std::string detail;
+
+  bool ok() const { return failure == ServeFailureKind::kNone; }
+};
+
+struct ServeFuzzFailure {
+  ServeFuzzCase fuzz_case;
+  ServeCaseResult result;
+};
+
+class ServeFuzzer {
+ public:
+  explicit ServeFuzzer(const ServeFuzzConfig& config) : config_(config) {}
+
+  const ServeFuzzConfig& config() const { return config_; }
+
+  // Executes the case end to end (warmup, tail, txn, crash, recovery,
+  // oracles).
+  ServeCaseResult Run(const ServeFuzzCase& c) const;
+
+  // Executes the case's prefix without failing and enumerates the candidate
+  // failure offsets reachable from its stop point (union over every shard
+  // of that shard's candidate instants relative to its own clock).
+  StatusOr<std::vector<SimTime>> Probe(const ServeFuzzCase& c) const;
+
+  // Participant shard count of the MultiPut the case derives (the ordinal
+  // range the *Apply stop phases can target).
+  int ParticipantCount(const ServeFuzzCase& c) const;
+
+  // Exhaustive sweep of one schedule: every stop phase, every participant
+  // ordinal for the *Apply phases, crashing "right now" plus at up to
+  // `max_candidates` enumerated in-flight offsets, under the all-drop and
+  // all-survive masks. Appends failing cases to `failures` when non-null.
+  fuzz::SweepStats Systematic(std::uint64_t seed, std::size_t max_candidates,
+                              std::vector<ServeFuzzFailure>* failures) const;
+
+  // Corpus glue (kind == "serve"): shares the bank repro format, mapping
+  // break_recovery to skip_recovery_replay.
+  fuzz::CrashRepro ToRepro(const ServeFuzzCase& c, const std::string& expect,
+                           const std::string& note) const;
+  static ServeFuzzConfig ConfigFromRepro(const fuzz::CrashRepro& repro);
+  static StatusOr<ServeFuzzCase> CaseFromRepro(const fuzz::CrashRepro& repro);
+
+  static const char* PhaseName(TxnStopPhase phase);
+  static StatusOr<TxnStopPhase> PhaseFromName(const std::string& name);
+
+ private:
+  struct PrefixEnv;
+
+  // Warmup + tail + the stopped MultiPut inside a fresh service; harness
+  // errors surface as a non-ok Status.
+  Status ExecutePrefix(const ServeFuzzCase& c, PrefixEnv* env) const;
+
+  ServeFuzzConfig config_;
+};
+
+}  // namespace serve
+}  // namespace nearpm
+
+#endif  // SRC_SERVE_SERVE_FUZZER_H_

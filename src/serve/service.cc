@@ -1,0 +1,467 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/ndp/sync_machine.h"
+#include "src/trace/ppo_checker.h"
+
+namespace nearpm {
+namespace serve {
+namespace {
+
+ServeResult Unexecuted(Status status) {
+  ServeResult result;
+  result.status = std::move(status);
+  return result;
+}
+
+}  // namespace
+
+KvService::KvService(const ServeOptions& options)
+    : options_(options), router_(options.shards) {}
+
+KvService::~KvService() { Stop(); }
+
+StatusOr<std::unique_ptr<KvService>> KvService::Create(
+    const ServeOptions& options) {
+  if (options.shards < 1) {
+    return InvalidArgument("service needs at least one shard");
+  }
+  if (options.workers_per_shard < 1 || options.batch_max < 1 ||
+      options.queue_capacity < 1) {
+    return InvalidArgument(
+        "workers, batch_max and queue_capacity must be >= 1");
+  }
+  auto service = std::unique_ptr<KvService>(new KvService(options));
+  ShardOptions so;
+  so.mode = options.mode;
+  so.enforce_ppo = options.enforce_ppo;
+  so.skip_recovery_replay = options.skip_recovery_replay;
+  so.pm_size = options.pm_size;
+  so.table_slots = options.table_slots;
+  so.value_size = options.value_size;
+  so.workers = options.workers_per_shard;
+  for (int s = 0; s < options.shards; ++s) {
+    auto shard = Shard::Create(so, s);
+    if (!shard.ok()) {
+      return shard.status();
+    }
+    service->shards_.push_back(std::move(*shard));
+    service->queues_.push_back(
+        std::make_unique<BoundedQueue<QueuedRequest>>(options.queue_capacity));
+  }
+  service->pump_rr_.assign(options.shards, 0);
+  return service;
+}
+
+StatusOr<std::future<ServeResult>> KvService::Submit(ServeRequest request) {
+  int shard_id;
+  if (request.kind == RequestKind::kMultiPut) {
+    if (request.pairs.empty()) {
+      return InvalidArgument("MultiPut carries no pairs");
+    }
+    std::vector<std::uint64_t> keys;
+    keys.reserve(request.pairs.size());
+    for (const KvPair& pair : request.pairs) {
+      keys.push_back(pair.key);
+    }
+    shard_id = router_.ParticipantsFor(keys).front();  // coordinator
+  } else {
+    shard_id = router_.ShardFor(request.key);
+  }
+
+  QueuedRequest item;
+  item.request = std::move(request);
+  std::future<ServeResult> done = item.done.get_future();
+  const std::size_t depth = queues_[shard_id]->size();
+  if (!queues_[shard_id]->TryPush(item)) {
+    metrics_.Increment("serve_rejected");
+    return ResourceExhausted("shard " + std::to_string(shard_id) +
+                             " queue full (" +
+                             std::to_string(options_.queue_capacity) +
+                             " requests), retry after draining");
+  }
+  metrics_.Increment("serve_enqueued");
+  metrics_.AddLatency("serve_queue_depth", depth);
+  return done;
+}
+
+void KvService::Start() {
+  for (int s = 0; s < num_shards(); ++s) {
+    for (int w = 0; w < options_.workers_per_shard; ++w) {
+      workers_.emplace_back([this, s, w] { WorkerLoop(s, w); });
+    }
+  }
+}
+
+void KvService::Stop() {
+  for (auto& queue : queues_) {
+    queue->Close();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+void KvService::WorkerLoop(int shard_id, int worker) {
+  BoundedQueue<QueuedRequest>& queue = *queues_[shard_id];
+  while (true) {
+    auto first = queue.Pop();  // blocks; empty optional = closed + drained
+    if (!first.has_value()) {
+      return;
+    }
+    std::vector<QueuedRequest> batch;
+    batch.push_back(std::move(*first));
+    while (batch.size() < static_cast<std::size_t>(options_.batch_max)) {
+      auto more = queue.TryPop();
+      if (!more.has_value()) {
+        break;
+      }
+      batch.push_back(std::move(*more));
+    }
+    ExecuteBatch(shard_id, worker, std::move(batch));
+  }
+}
+
+std::uint64_t KvService::Pump() {
+  std::uint64_t executed = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < num_shards(); ++s) {
+      std::vector<QueuedRequest> batch;
+      while (batch.size() < static_cast<std::size_t>(options_.batch_max)) {
+        auto item = queues_[s]->TryPop();
+        if (!item.has_value()) {
+          break;
+        }
+        batch.push_back(std::move(*item));
+      }
+      if (batch.empty()) {
+        continue;
+      }
+      progress = true;
+      executed += batch.size();
+      const int worker = pump_rr_[s];
+      pump_rr_[s] = (pump_rr_[s] + 1) % options_.workers_per_shard;
+      ExecuteBatch(s, worker, std::move(batch));
+    }
+  }
+  return executed;
+}
+
+Status KvService::ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
+                               SimTime batch_start) {
+  Runtime& rt = shard.rt();
+  const SimTime start = rt.Now(tid);
+  rt.Compute(tid, options_.request_parse_ns);
+
+  ServeResult result;
+  result.shard = shard.id();
+  switch (item.request.kind) {
+    case RequestKind::kPut:
+      result.status = shard.Put(tid, item.request.key, item.request.value);
+      metrics_.Increment("serve_puts");
+      break;
+    case RequestKind::kGet: {
+      auto value = shard.Get(tid, item.request.key);
+      if (value.ok()) {
+        result.value = std::move(*value);
+      }
+      result.status = value.status();
+      metrics_.Increment("serve_gets");
+      break;
+    }
+    case RequestKind::kMultiPut:
+      result.status = Internal("MultiPut routed to the local batch path");
+      break;
+  }
+
+  const SimTime end = rt.Now(tid);
+  NEARPM_TRACE_SPAN(&shard.recorder(), .phase = TracePhase::kServeRequest,
+                    .pid = kTraceServePid,
+                    .tid = static_cast<std::uint32_t>(tid), .ts = start,
+                    .dur = end > start ? end - start : 1,
+                    .seq = item.request.key);
+  result.latency_ns = end - batch_start;
+  metrics_.AddLatency("serve_request_ns", result.latency_ns);
+  metrics_.Increment("serve_completed");
+  Status status = result.status;
+  item.done.set_value(std::move(result));
+  return status;
+}
+
+void KvService::ExecuteBatch(int shard_id, int worker,
+                             std::vector<QueuedRequest> batch) {
+  Shard& shard = *shards_[shard_id];
+  const ThreadId tid = shard.WorkerTid(worker);
+
+  std::vector<QueuedRequest> locals;
+  std::vector<QueuedRequest> txns;
+  for (QueuedRequest& item : batch) {
+    (item.request.kind == RequestKind::kMultiPut ? txns : locals)
+        .push_back(std::move(item));
+  }
+
+  if (!locals.empty()) {
+    std::lock_guard lock(shard.mu());
+    Runtime& rt = shard.rt();
+    const SimTime batch_start = rt.Now(tid);
+    // The amortization: one submission doorbell and one fence cover the
+    // whole batch (batch_max = 1 degenerates to per-request costs).
+    rt.Compute(tid, rt.options().cost.cmd_post_ns);
+    NEARPM_TRACE_EVENT(&shard.recorder(), .phase = TracePhase::kServeEnqueue,
+                       .pid = kTraceServePid,
+                       .tid = static_cast<std::uint32_t>(tid),
+                       .ts = batch_start, .arg0 = locals.size());
+    for (QueuedRequest& item : locals) {
+      (void)ExecuteLocal(shard, tid, item, batch_start);
+    }
+    rt.Fence(tid);
+    const SimTime batch_end = rt.Now(tid);
+    NEARPM_TRACE_SPAN(&shard.recorder(), .phase = TracePhase::kServeBatch,
+                      .pid = kTraceServePid,
+                      .tid = static_cast<std::uint32_t>(tid), .ts = batch_start,
+                      .dur = batch_end > batch_start ? batch_end - batch_start
+                                                     : 1,
+                      .arg0 = locals.size());
+    metrics_.Increment("serve_batches");
+    metrics_.AddLatency("serve_batch_size", locals.size());
+  }
+
+  for (QueuedRequest& item : txns) {
+    ServeResult result;
+    result.shard = shard_id;
+    result.status = ExecuteMultiPut(item.request.pairs);
+    metrics_.Increment("serve_completed");
+    item.done.set_value(std::move(result));
+  }
+}
+
+Status KvService::ExecuteMultiPut(const std::vector<KvPair>& pairs,
+                                  const TxnStop& stop) {
+  if (pairs.empty() || pairs.size() > Shard::kMaxTxnPairs) {
+    return InvalidArgument("MultiPut must carry 1.." +
+                           std::to_string(Shard::kMaxTxnPairs) + " pairs");
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pairs.size());
+  for (const KvPair& pair : pairs) {
+    keys.push_back(pair.key);
+  }
+  const std::vector<int> participants = router_.ParticipantsFor(keys);
+  const int k = static_cast<int>(participants.size());
+
+  // Participant locks in ascending shard order: the only multi-lock path in
+  // the service, so lock ordering is global and deadlock-free.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(participants.size());
+  for (int p : participants) {
+    locks.emplace_back(shards_[p]->mu());
+  }
+
+  Shard& coord = *shards_[participants.front()];
+  const ThreadId coord_tid = coord.TxnTid();
+  const std::uint64_t txn_id = ++txn_counter_;
+  const SimTime txn_start = coord.Now(coord_tid);
+
+  // Phase 1 -- durable intent on the coordinator. Drained before any slice
+  // applies: after this point a crash anywhere leads recovery to redo the
+  // whole transaction; before it, to none of it. All-or-nothing either way.
+  auto intent_slot = coord.WriteIntent(coord_tid, txn_id, pairs);
+  if (!intent_slot.ok()) {
+    return intent_slot.status();
+  }
+  coord.Drain(coord_tid);
+  if (stop.phase == TxnStopPhase::kAfterIntent) {
+    return Unavailable("txn stopped by crash injection: after intent");
+  }
+
+  // Phase 2 -- duplicate the command to every participant's sync machine
+  // (Figure 12: each device tracks local + remote completion).
+  std::vector<SyncStateMachine> machines;
+  machines.reserve(participants.size());
+  for (int i = 0; i < k; ++i) {
+    machines.emplace_back(k);
+    NEARPM_RETURN_IF_ERROR(machines.back().ReceiveCommand());
+  }
+
+  // Phase 3 -- each participant applies its slice failure-atomically, drains
+  // it durable and signals local completion.
+  for (int ordinal = 0; ordinal < k; ++ordinal) {
+    Shard& shard = *shards_[participants[ordinal]];
+    const ThreadId tid = shard.TxnTid();
+    for (const KvPair& pair : pairs) {
+      if (router_.ShardFor(pair.key) != shard.id()) {
+        continue;
+      }
+      NEARPM_RETURN_IF_ERROR(shard.Put(tid, pair.key, pair.value));
+    }
+    if (stop.phase == TxnStopPhase::kMidApply &&
+        stop.apply_ordinal == ordinal) {
+      // Puts issued but neither drained nor signalled: the crash model sees
+      // the slice's device requests still in flight.
+      return Unavailable("txn stopped by crash injection: mid apply " +
+                         std::to_string(ordinal));
+    }
+    shard.Drain(tid);
+    NEARPM_RETURN_IF_ERROR(machines[ordinal].ReceiveLocalComplete());
+    if (stop.phase == TxnStopPhase::kAfterApply &&
+        stop.apply_ordinal == ordinal) {
+      return Unavailable("txn stopped by crash injection: after apply " +
+                         std::to_string(ordinal));
+    }
+  }
+
+  // Phase 4 -- completion exchange: every participant learns every remote
+  // completion, and all clocks rendezvous at the slowest participant plus
+  // one remote status exchange.
+  for (int ordinal = 0; ordinal < k; ++ordinal) {
+    for (int peer = 0; peer < k; ++peer) {
+      if (peer == ordinal) {
+        continue;
+      }
+      const DeviceId remote_index = peer < ordinal ? peer : peer - 1;
+      NEARPM_RETURN_IF_ERROR(
+          machines[ordinal].ReceiveRemoteComplete(remote_index));
+    }
+  }
+  SimTime rendezvous = 0;
+  for (int p : participants) {
+    rendezvous = std::max(rendezvous, shards_[p]->Now(shards_[p]->TxnTid()));
+  }
+  rendezvous += coord.rt().options().cost.ndp_remote_status_ns;
+  for (int p : participants) {
+    shards_[p]->rt().WaitUntil(shards_[p]->TxnTid(), rendezvous);
+  }
+
+  // Invariant 3: the retire write below is ordered after the cross-shard
+  // synchronization, so it must not issue until every participant is back
+  // in All-Complete.
+  for (int ordinal = 0; ordinal < k; ++ordinal) {
+    if (!machines[ordinal].AllComplete()) {
+      return Internal("participant " + std::to_string(ordinal) +
+                      " not All-Complete before intent retire");
+    }
+  }
+  if (stop.phase == TxnStopPhase::kAfterSync) {
+    return Unavailable("txn stopped by crash injection: after sync");
+  }
+
+  // Phase 5 -- retire the intent (the write ordered after the sync).
+  NEARPM_RETURN_IF_ERROR(coord.InvalidateIntent(coord_tid, *intent_slot));
+  coord.Drain(coord_tid);
+
+  const SimTime txn_end = coord.Now(coord_tid);
+  NEARPM_TRACE_SPAN(&coord.recorder(), .phase = TracePhase::kServeTxn,
+                    .pid = kTraceServePid,
+                    .tid = static_cast<std::uint32_t>(coord_tid),
+                    .ts = txn_start,
+                    .dur = txn_end > txn_start ? txn_end - txn_start : 1,
+                    .seq = txn_id, .arg0 = static_cast<std::uint64_t>(k));
+  metrics_.Increment("serve_txns");
+  metrics_.AddLatency("serve_txn_ns", txn_end - txn_start);
+  return Status::Ok();
+}
+
+void KvService::CrashAll(const std::vector<CrashPlan>& plans) {
+  for (int s = 0; s < num_shards(); ++s) {
+    std::lock_guard lock(shards_[s]->mu());
+    shards_[s]->Crash(s < static_cast<int>(plans.size()) ? plans[s]
+                                                         : CrashPlan{});
+  }
+  // The power failure also loses every admitted-but-unexecuted request.
+  for (auto& queue : queues_) {
+    while (auto item = queue->TryPop()) {
+      item->done.set_value(
+          Unexecuted(Unavailable("request lost in power failure")));
+    }
+  }
+}
+
+Status KvService::RecoverAll() {
+  // Quiesced path (no workers running): take every shard lock up front.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    locks.emplace_back(shard->mu());
+  }
+  for (auto& shard : shards_) {
+    NEARPM_RETURN_IF_ERROR(shard->Recover());
+  }
+  // Cross-shard intent redo: any transaction whose intent survived was past
+  // its durability point, so recovery re-applies every pair (idempotent
+  // upsert) before retiring the intent -- all-or-nothing across shards.
+  for (auto& coord : shards_) {
+    const ThreadId coord_tid = coord->TxnTid();
+    auto intents = coord->ScanIntents(coord_tid);
+    if (!intents.ok()) {
+      return intents.status();
+    }
+    for (const IntentRecord& intent : *intents) {
+      if (!options_.break_txn_redo) {
+        for (const KvPair& pair : intent.pairs) {
+          Shard& owner = *shards_[router_.ShardFor(pair.key)];
+          NEARPM_RETURN_IF_ERROR(
+              owner.Put(owner.TxnTid(), pair.key, pair.value));
+          owner.Drain(owner.TxnTid());
+        }
+      }
+      NEARPM_RETURN_IF_ERROR(coord->InvalidateIntent(coord_tid, intent.slot));
+      coord->Drain(coord_tid);
+      metrics_.Increment("serve_txn_redos");
+    }
+  }
+  return Status::Ok();
+}
+
+std::uint64_t KvService::PpoViolations(std::string* report) {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu());
+    const auto violations = PpoChecker{}.Check(shard->recorder());
+    total += violations.size();
+    if (report != nullptr && !violations.empty()) {
+      *report += "shard " + std::to_string(shard->id()) + ":\n" +
+                 PpoChecker::Report(violations);
+    }
+  }
+  return total;
+}
+
+std::uint64_t KvService::CounterValue(const std::string& name) const {
+  const auto& counters = metrics_.counters();
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.load(std::memory_order_relaxed);
+}
+
+ServeStats KvService::Stats() const {
+  ServeStats stats;
+  stats.completed = CounterValue("serve_completed");
+  stats.puts = CounterValue("serve_puts");
+  stats.gets = CounterValue("serve_gets");
+  stats.txns = CounterValue("serve_txns");
+  stats.rejected = CounterValue("serve_rejected");
+  stats.batches = CounterValue("serve_batches");
+  for (const auto& shard : shards_) {
+    stats.makespan_ns = std::max(stats.makespan_ns, shard->MakespanNs());
+  }
+  const auto& histograms = metrics_.histograms();
+  if (auto it = histograms.find("serve_request_ns"); it != histograms.end()) {
+    stats.request_p50_ns = it->second.Percentile(0.5);
+    stats.request_p99_ns = it->second.Percentile(0.99);
+  }
+  if (stats.makespan_ns > 0) {
+    stats.throughput_ops_per_sec = static_cast<double>(stats.completed) /
+                                   (static_cast<double>(stats.makespan_ns) /
+                                    1e9);
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace nearpm

@@ -1,0 +1,193 @@
+// KvService: the sharded serving front end (the paper's storage-class
+// "service" shape: many independent NearPM machines behind one API).
+//
+// A ShardRouter hash-partitions keys across N shards, each an independent
+// Runtime + device group (src/serve/shard.h). Requests are admitted into
+// per-shard bounded queues (admission control: a full queue rejects with
+// ResourceExhausted -- caller-visible backpressure, never unbounded
+// buffering) and drained in batches: one front-end doorbell charge and one
+// fence per batch instead of per request, the classic amortization knob.
+//
+// Two execution modes share the queue/batch path:
+//   * Start()/Stop(): real OS worker threads per shard (the CLI smoke mode);
+//   * Pump(): deterministic inline draining on the calling thread (the
+//     benchmark and crash-fuzzer mode -- same code path, reproducible
+//     simulated timings).
+//
+// Cross-shard MultiPut follows the paper's Invariant 3 end to end: the
+// coordinator persists a redo intent (failure-atomic, drained durable),
+// every participant applies its slice and signals a per-participant
+// SyncStateMachine, remote completions are exchanged, and only when every
+// machine is back in All-Complete is the intent retired -- a write ordered
+// after the synchronization. A crash anywhere in between recovers
+// all-or-nothing via RecoverAll()'s intent redo.
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/queue.h"
+#include "src/serve/router.h"
+#include "src/serve/shard.h"
+#include "src/trace/metrics.h"
+
+namespace nearpm {
+namespace serve {
+
+struct ServeOptions {
+  int shards = 4;
+  int workers_per_shard = 2;
+  std::size_t queue_capacity = 64;
+  int batch_max = 8;  // requests drained per doorbell/fence
+  ExecMode mode = ExecMode::kNdpMultiDelayed;
+  bool enforce_ppo = true;
+  bool skip_recovery_replay = false;  // fault injection (fuzzer teeth)
+  // Fault injection for the serve fuzzer's self-test: recovery scrubs
+  // surviving transaction intents without re-applying them, breaking the
+  // all-or-nothing guarantee. The fuzzer must catch this.
+  bool break_txn_redo = false;
+  std::uint64_t pm_size = 16ull << 20;
+  std::uint32_t table_slots = 512;
+  std::uint32_t value_size = 64;
+  double request_parse_ns = 50.0;  // front-end CPU cost per request
+};
+
+enum class RequestKind : std::uint8_t { kGet, kPut, kMultiPut };
+
+struct ServeRequest {
+  RequestKind kind = RequestKind::kPut;
+  std::uint64_t key = 0;
+  std::vector<std::uint8_t> value;  // kPut payload
+  std::vector<KvPair> pairs;        // kMultiPut payload
+};
+
+struct ServeResult {
+  Status status = Status::Ok();
+  std::vector<std::uint8_t> value;  // kGet payload
+  // Simulated time from batch pickup to this request's completion (queueing
+  // behind batch peers included).
+  SimTime latency_ns = 0;
+  int shard = -1;
+};
+
+// Crash injection for the serve fuzzer: where ExecuteMultiPut deliberately
+// stops, leaving the cross-shard protocol mid-flight.
+enum class TxnStopPhase : std::uint8_t {
+  kNone = 0,     // run to completion
+  kAfterIntent,  // intent durable, no slice applied yet
+  kMidApply,     // apply_ordinal's puts issued but not drained or signalled
+  kAfterApply,   // participants [0, apply_ordinal] applied + local-complete
+  kAfterSync,    // every participant All-Complete, intent not yet retired
+};
+
+struct TxnStop {
+  TxnStopPhase phase = TxnStopPhase::kNone;
+  int apply_ordinal = 0;  // kAfterApply: last participant ordinal applied
+};
+
+// Quiesced-state snapshot (call after Stop()/Pump(), not mid-traffic).
+struct ServeStats {
+  std::uint64_t completed = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t txns = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  SimTime makespan_ns = 0;  // slowest shard's latest virtual clock
+  std::uint64_t request_p50_ns = 0;
+  std::uint64_t request_p99_ns = 0;
+  double throughput_ops_per_sec = 0;  // completed / makespan
+};
+
+class KvService {
+ public:
+  static StatusOr<std::unique_ptr<KvService>> Create(
+      const ServeOptions& options);
+  ~KvService();
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  const ServeOptions& options() const { return options_; }
+  const ShardRouter& router() const { return router_; }
+  Shard& shard(int s) { return *shards_[s]; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Admission: routes the request (MultiPut -> its coordinator shard),
+  // enqueues it and returns the completion future. A full queue rejects
+  // immediately with ResourceExhausted; nothing was enqueued and the caller
+  // may retry after draining.
+  StatusOr<std::future<ServeResult>> Submit(ServeRequest request);
+
+  // ---- Threaded mode --------------------------------------------------------
+  void Start();  // spawns workers_per_shard OS threads per shard
+  void Stop();   // closes queues, drains and joins every worker
+
+  // ---- Deterministic mode ---------------------------------------------------
+  // Drains every queue inline (round-robin across shards, rotating the
+  // virtual worker clock per batch). Returns requests executed. Must not
+  // run concurrently with Start().
+  std::uint64_t Pump();
+
+  // Direct cross-shard transaction (also the path queued kMultiPut requests
+  // take). `stop` deliberately abandons the protocol mid-flight for crash
+  // injection; the transaction then reports Unavailable.
+  Status ExecuteMultiPut(const std::vector<KvPair>& pairs,
+                         const TxnStop& stop = {});
+
+  // ---- Failure and recovery -------------------------------------------------
+  // Power-fails every shard (plans[s] drives shard s) and drops volatile
+  // service state. Queued-but-unexecuted requests fail Unavailable.
+  void CrashAll(const std::vector<CrashPlan>& plans);
+  // Mechanism recovery on every shard, then cross-shard intent redo: every
+  // surviving intent is re-applied to every owner shard (idempotent upsert)
+  // and retired, restoring the all-or-nothing guarantee.
+  Status RecoverAll();
+
+  // PPO audit over every shard's trace. Returns the total violation count;
+  // appends human-readable reports to `report` when non-null.
+  std::uint64_t PpoViolations(std::string* report = nullptr);
+
+  ServeStats Stats() const;
+
+ private:
+  struct QueuedRequest {
+    ServeRequest request;
+    std::promise<ServeResult> done;
+  };
+
+  explicit KvService(const ServeOptions& options);
+
+  void WorkerLoop(int shard_id, int worker);
+  // Executes one batch: single-shard requests under the shard lock with one
+  // doorbell + one fence, then cross-shard transactions (which take their
+  // participants' locks themselves).
+  void ExecuteBatch(int shard_id, int worker,
+                    std::vector<QueuedRequest> batch);
+  Status ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
+                      SimTime batch_start);
+
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  ServeOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<BoundedQueue<QueuedRequest>>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> txn_counter_{0};
+  std::vector<int> pump_rr_;  // per-shard rotating worker clock (Pump mode)
+  MetricsRegistry metrics_;
+};
+
+}  // namespace serve
+}  // namespace nearpm
+
+#endif  // SRC_SERVE_SERVICE_H_

@@ -1,0 +1,253 @@
+#include "src/serve/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/serve/router.h"
+
+namespace nearpm {
+namespace serve {
+namespace {
+
+// Nonzero magic marking a valid (committed, not yet retired) intent slot.
+constexpr std::uint64_t kIntentMagic = 0x53525645494E5431ull;  // "SRVEINT1"
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteU64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+}  // namespace
+
+Shard::Shard(const ShardOptions& options, int shard_id)
+    : options_(options), id_(shard_id) {}
+
+StatusOr<std::unique_ptr<Shard>> Shard::Create(const ShardOptions& options,
+                                               int shard_id) {
+  if (options.table_slots == 0) {
+    return InvalidArgument("shard table needs at least one slot");
+  }
+  if (options.value_size == 0 || options.value_size > 256) {
+    return InvalidArgument("value_size must be in [1, 256]");
+  }
+  if (options.workers < 1) {
+    return InvalidArgument("a shard needs at least one worker");
+  }
+  auto shard = std::unique_ptr<Shard>(new Shard(options, shard_id));
+
+  RuntimeOptions ro;
+  ro.mode = options.mode;
+  ro.pm_size = options.pm_size;
+  ro.enforce_ppo = options.enforce_ppo;
+  ro.skip_recovery_replay = options.skip_recovery_replay;
+  ro.max_threads = std::max(16, options.workers + 2);
+  shard->recorder_ = std::make_unique<TraceRecorder>();
+  shard->rt_ = std::make_unique<Runtime>(ro);
+  shard->rt_->AttachTrace(shard->recorder_.get());
+
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(options.table_slots) * shard->EntrySize();
+  const std::uint64_t intent_off = AlignUp(table_bytes, kCacheLineSize);
+  const std::uint64_t needed =
+      intent_off + kIntentSlots * shard->IntentBytes();
+
+  PoolArena arena(0);
+  HeapOptions ho;
+  // The serving layer is pinned to undo logging: a committed operation is
+  // durable at CommitOp, which anchors the cross-shard intent protocol
+  // (epoch-granular mechanisms could roll a committed intent back).
+  ho.mechanism = Mechanism::kLogging;
+  ho.data_size = AlignUp(needed, kPmPageSize);
+  ho.threads = options.workers + 1;  // workers + the txn/recovery clock
+  auto heap = PersistentHeap::Create(*shard->rt_, arena, ho);
+  if (!heap.ok()) {
+    return heap.status();
+  }
+  shard->heap_ = std::move(*heap);
+  shard->intent_base_ = shard->heap_->root() + intent_off;
+  shard->occupied_.assign(options.table_slots, false);
+  return shard;
+}
+
+StatusOr<std::uint32_t> Shard::SlotFor(std::uint64_t key, bool* exists) const {
+  if (auto it = index_.find(key); it != index_.end()) {
+    *exists = true;
+    return it->second;
+  }
+  *exists = false;
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(ShardRouter::Mix(key) % options_.table_slots);
+  for (std::uint32_t probe = 0; probe < options_.table_slots; ++probe) {
+    const std::uint32_t slot = (start + probe) % options_.table_slots;
+    if (!occupied_[slot]) {
+      return slot;
+    }
+  }
+  return ResourceExhausted("shard " + std::to_string(id_) + " table full");
+}
+
+Status Shard::Put(ThreadId t, std::uint64_t key,
+                  const std::vector<std::uint8_t>& value) {
+  bool exists = false;
+  auto slot = SlotFor(key, &exists);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  std::vector<std::uint8_t> padded(options_.value_size, 0);
+  std::memcpy(padded.data(), value.data(),
+              std::min<std::size_t>(value.size(), padded.size()));
+
+  NEARPM_RETURN_IF_ERROR(heap_->BeginOp(t));
+  NEARPM_RETURN_IF_ERROR(
+      heap_->Store<std::uint64_t>(t, EntryAddr(*slot), key + 1));
+  NEARPM_RETURN_IF_ERROR(heap_->Write(t, EntryAddr(*slot) + 8, padded));
+  NEARPM_RETURN_IF_ERROR(heap_->CommitOp(t));
+  index_[key] = *slot;
+  occupied_[*slot] = true;
+  return Status::Ok();
+}
+
+Status Shard::PutUncommitted(ThreadId t, std::uint64_t key,
+                             const std::vector<std::uint8_t>& value) {
+  bool exists = false;
+  auto slot = SlotFor(key, &exists);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  std::vector<std::uint8_t> padded(options_.value_size, 0);
+  std::memcpy(padded.data(), value.data(),
+              std::min<std::size_t>(value.size(), padded.size()));
+  NEARPM_RETURN_IF_ERROR(heap_->BeginOp(t));
+  NEARPM_RETURN_IF_ERROR(
+      heap_->Store<std::uint64_t>(t, EntryAddr(*slot), key + 1));
+  return heap_->Write(t, EntryAddr(*slot) + 8, padded);
+  // Deliberately no CommitOp: recovery must undo everything above.
+}
+
+StatusOr<std::vector<std::uint8_t>> Shard::Get(ThreadId t, std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return NotFound("key " + std::to_string(key) + " not on shard " +
+                    std::to_string(id_));
+  }
+  std::vector<std::uint8_t> value(options_.value_size);
+  NEARPM_RETURN_IF_ERROR(heap_->Read(t, EntryAddr(it->second) + 8, value));
+  return value;
+}
+
+StatusOr<int> Shard::WriteIntent(ThreadId t, std::uint64_t txn_id,
+                                 const std::vector<KvPair>& pairs) {
+  if (pairs.empty() || pairs.size() > kMaxTxnPairs) {
+    return InvalidArgument("transaction must carry 1.." +
+                           std::to_string(kMaxTxnPairs) + " pairs");
+  }
+  int slot = -1;
+  for (int s = 0; s < kIntentSlots; ++s) {
+    auto magic = heap_->Load<std::uint64_t>(t, IntentAddr(s));
+    if (!magic.ok()) {
+      return magic.status();
+    }
+    if (*magic != kIntentMagic) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    return ResourceExhausted("all intent slots busy on shard " +
+                             std::to_string(id_));
+  }
+
+  std::vector<std::uint8_t> record(IntentBytes(), 0);
+  WriteU64(record.data(), kIntentMagic);
+  WriteU64(record.data() + 8, txn_id);
+  WriteU64(record.data() + 16, pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::uint8_t* p = record.data() + 24 + i * (8 + options_.value_size);
+    WriteU64(p, pairs[i].key);
+    std::memcpy(p + 8, pairs[i].value.data(),
+                std::min<std::size_t>(pairs[i].value.size(),
+                                      options_.value_size));
+  }
+
+  // One failure-atomic write of the whole record: either the committed
+  // intent (magic and all) survives a crash, or undo rollback erases it.
+  NEARPM_RETURN_IF_ERROR(heap_->BeginOp(t));
+  NEARPM_RETURN_IF_ERROR(heap_->Write(t, IntentAddr(slot), record));
+  NEARPM_RETURN_IF_ERROR(heap_->CommitOp(t));
+  return slot;
+}
+
+Status Shard::InvalidateIntent(ThreadId t, int slot) {
+  NEARPM_RETURN_IF_ERROR(heap_->BeginOp(t));
+  NEARPM_RETURN_IF_ERROR(
+      heap_->Store<std::uint64_t>(t, IntentAddr(slot), std::uint64_t{0}));
+  return heap_->CommitOp(t);
+}
+
+StatusOr<std::vector<IntentRecord>> Shard::ScanIntents(ThreadId t) {
+  std::vector<IntentRecord> records;
+  std::vector<std::uint8_t> buffer(IntentBytes());
+  for (int s = 0; s < kIntentSlots; ++s) {
+    NEARPM_RETURN_IF_ERROR(heap_->Read(t, IntentAddr(s), buffer));
+    if (ReadU64(buffer.data()) != kIntentMagic) {
+      continue;
+    }
+    IntentRecord record;
+    record.slot = s;
+    record.txn_id = ReadU64(buffer.data() + 8);
+    const std::uint64_t count = ReadU64(buffer.data() + 16);
+    if (count == 0 || count > kMaxTxnPairs) {
+      return Internal("corrupt intent slot " + std::to_string(s) +
+                      " on shard " + std::to_string(id_) + ": pair count " +
+                      std::to_string(count));
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t* p =
+          buffer.data() + 24 + i * (8 + options_.value_size);
+      KvPair pair;
+      pair.key = ReadU64(p);
+      pair.value.assign(p + 8, p + 8 + options_.value_size);
+      record.pairs.push_back(std::move(pair));
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+CrashReport Shard::Crash(const CrashPlan& plan) {
+  CrashReport report = rt_->InjectCrashAt(plan);
+  heap_->DropVolatile();
+  index_.clear();
+  std::fill(occupied_.begin(), occupied_.end(), false);
+  return report;
+}
+
+Status Shard::Recover() {
+  NEARPM_RETURN_IF_ERROR(heap_->Recover());
+  return RebuildIndex(TxnTid());
+}
+
+Status Shard::RebuildIndex(ThreadId t) {
+  index_.clear();
+  std::fill(occupied_.begin(), occupied_.end(), false);
+  for (std::uint32_t slot = 0; slot < options_.table_slots; ++slot) {
+    auto tag = heap_->Load<std::uint64_t>(t, EntryAddr(slot));
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    if (*tag != 0) {
+      index_[*tag - 1] = slot;
+      occupied_[slot] = true;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace nearpm

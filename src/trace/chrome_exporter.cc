@@ -43,6 +43,12 @@ const char* PhaseCategory(TracePhase phase) {
     case TracePhase::kOpCommit:
     case TracePhase::kMechRecover:
       return "mechanism";
+    case TracePhase::kServeEnqueue:
+    case TracePhase::kServeReject:
+    case TracePhase::kServeBatch:
+    case TracePhase::kServeRequest:
+    case TracePhase::kServeTxn:
+      return "serve";
     case TracePhase::kCount:
       break;
   }
@@ -74,6 +80,7 @@ std::string TraceProcessName(std::uint32_t pid) {
   if (pid == kTraceHostPid) return "host CPU";
   if (pid == kTracePciePid) return "PCIe link";
   if (pid == kTraceSyncPid) return "multi-device sync";
+  if (pid == kTraceServePid) return "serve front end";
   if (pid >= kTraceDevicePidBase) {
     return "NearPM device " + std::to_string(pid - kTraceDevicePidBase);
   }
@@ -84,6 +91,7 @@ std::string TraceThreadName(std::uint32_t pid, std::uint32_t tid) {
   if (pid == kTraceHostPid) return "cpu thread " + std::to_string(tid);
   if (pid == kTracePciePid) return "link";
   if (pid == kTraceSyncPid) return "sync machine";
+  if (pid == kTraceServePid) return "serve worker " + std::to_string(tid);
   if (pid >= kTraceDevicePidBase) {
     if (tid == kTraceDispatcherTid) return "dispatcher";
     if (tid == kTraceMaintenanceTid) return "maintenance engine";

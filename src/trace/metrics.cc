@@ -3,14 +3,17 @@
 namespace nearpm {
 
 void MetricsRegistry::Reset() {
+  std::unique_lock lock(mu_);
   counters_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::Report() const {
+  std::shared_lock lock(mu_);
   std::string out;
   for (const auto& [name, value] : counters_) {
-    out += name + " = " + std::to_string(value) + "\n";
+    out += name + " = " +
+           std::to_string(value.load(std::memory_order_relaxed)) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     out += name + ": n=" + std::to_string(hist.count()) +
@@ -22,12 +25,14 @@ std::string MetricsRegistry::Report() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::shared_lock lock(mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     if (!first) out += ", ";
     first = false;
-    out += "\"" + name + "\": " + std::to_string(value);
+    out += "\"" + name +
+           "\": " + std::to_string(value.load(std::memory_order_relaxed));
   }
   out += "}, \"latencies_ns\": {";
   first = true;

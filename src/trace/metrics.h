@@ -3,15 +3,21 @@
 // The trace recorder feeds every span's duration into a histogram named
 // after its phase, giving a per-phase latency breakdown of the request
 // lifecycle for free; subsystems can additionally register their own
-// counters (requests issued, conflicts, bytes moved...). The registry is a
-// plain single-threaded structure -- the simulator runs on one OS thread --
-// and reports either as human-readable text or as JSON for trajectory
-// tracking across runs.
+// counters (requests issued, conflicts, bytes moved...). Recording is safe
+// from concurrent threads: counters are atomics and histogram buckets are
+// atomic, with a shared mutex taken only to find-or-create the map node
+// (std::map nodes are stable, so the returned references stay valid for the
+// registry's lifetime and can be cached by hot paths for lock-free
+// recording). Reports are accurate once writers have quiesced and render
+// either as human-readable text or as JSON for trajectory tracking.
 #ifndef SRC_TRACE_METRICS_H_
 #define SRC_TRACE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/stats.h"
@@ -20,25 +26,51 @@ namespace nearpm {
 
 class MetricsRegistry {
  public:
-  // Named monotonic counter (created on first use).
-  std::uint64_t& Counter(const std::string& name) { return counters_[name]; }
+  using CounterMap = std::map<std::string, std::atomic<std::uint64_t>>;
+  using HistogramMap = std::map<std::string, Histogram>;
+
+  // Named monotonic counter (created on first use). The reference stays
+  // valid until Reset()/destruction; cache it to increment without any lock.
+  std::atomic<std::uint64_t>& Counter(const std::string& name) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = counters_.find(name);
+      if (it != counters_.end()) {
+        return it->second;
+      }
+    }
+    std::unique_lock lock(mu_);
+    return counters_[name];
+  }
   // Named latency histogram in simulated nanoseconds (created on first use).
-  Histogram& Latency(const std::string& name) { return histograms_[name]; }
+  // Same lifetime/caching contract as Counter().
+  Histogram& Latency(const std::string& name) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = histograms_.find(name);
+      if (it != histograms_.end()) {
+        return it->second;
+      }
+    }
+    std::unique_lock lock(mu_);
+    return histograms_[name];
+  }
 
   void AddLatency(const std::string& name, std::uint64_t ns) {
-    histograms_[name].Add(ns);
+    Latency(name).Add(ns);
   }
   void Increment(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
+    Counter(name).fetch_add(by, std::memory_order_relaxed);
   }
 
-  bool empty() const { return counters_.empty() && histograms_.empty(); }
-  const std::map<std::string, std::uint64_t>& counters() const {
-    return counters_;
+  bool empty() const {
+    std::shared_lock lock(mu_);
+    return counters_.empty() && histograms_.empty();
   }
-  const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
-  }
+  // Direct views for tests and exporters. Only safe while no thread can be
+  // creating new metrics (values may still be concurrently incremented).
+  const CounterMap& counters() const { return counters_; }
+  const HistogramMap& histograms() const { return histograms_; }
 
   void Reset();
 
@@ -48,8 +80,9 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Histogram> histograms_;
+  mutable std::shared_mutex mu_;
+  CounterMap counters_;
+  HistogramMap histograms_;
 };
 
 }  // namespace nearpm

@@ -52,6 +52,16 @@ const char* TracePhaseName(TracePhase phase) {
       return "op_commit";
     case TracePhase::kMechRecover:
       return "mech_recover";
+    case TracePhase::kServeEnqueue:
+      return "serve_enqueue";
+    case TracePhase::kServeReject:
+      return "serve_reject";
+    case TracePhase::kServeBatch:
+      return "serve_batch";
+    case TracePhase::kServeRequest:
+      return "serve_request";
+    case TracePhase::kServeTxn:
+      return "serve_txn";
     case TracePhase::kCount:
       break;
   }

@@ -52,6 +52,12 @@ enum class TracePhase : std::uint8_t {
   kOpBegin,     // instant: failure-atomic operation opened (seq = tx id)
   kOpCommit,    // instant: operation committed
   kMechRecover, // instant: software recovery pass of a provider
+  // ---- Serving layer (src/serve, one serve track per shard).
+  kServeEnqueue, // instant: request admitted to a shard queue (arg0 = depth)
+  kServeReject,  // instant: request rejected by admission control
+  kServeBatch,   // span: one worker batch against a shard (arg0 = batch size)
+  kServeRequest, // span: one request executing inside a batch
+  kServeTxn,     // span: cross-shard MultiPut (intent, apply, sync, retire)
   kCount,
 };
 
@@ -62,6 +68,7 @@ const char* TracePhaseName(TracePhase phase);
 inline constexpr std::uint32_t kTraceHostPid = 1;      // tid = ThreadId
 inline constexpr std::uint32_t kTracePciePid = 2;      // tid = 0, the link
 inline constexpr std::uint32_t kTraceSyncPid = 3;      // tid = 0, MD sync
+inline constexpr std::uint32_t kTraceServePid = 4;     // tid = worker index
 inline constexpr std::uint32_t kTraceDevicePidBase = 16;  // + DeviceId
 // Tids inside a device pid.
 inline constexpr std::uint32_t kTraceDispatcherTid = 0;

@@ -13,6 +13,7 @@
 
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_fuzzer.h"
+#include "src/serve/serve_fuzzer.h"
 
 namespace nearpm {
 namespace fuzz {
@@ -33,17 +34,30 @@ TEST_P(FuzzCorpusReplayTest, ReplayMatchesExpectation) {
   auto repro = LoadRepro(GetParam());
   ASSERT_TRUE(repro.ok()) << repro.status().ToString();
 
-  CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
-  const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
-  const CaseResult r = fuzzer.Run(c);
+  bool run_ok = false;
+  std::string verdict;
+  if (repro->kind == "serve") {
+    serve::ServeFuzzer fuzzer(serve::ServeFuzzer::ConfigFromRepro(*repro));
+    auto c = serve::ServeFuzzer::CaseFromRepro(*repro);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    const serve::ServeCaseResult r = fuzzer.Run(*c);
+    run_ok = r.ok();
+    verdict = std::string(serve::ServeFailureKindName(r.failure)) + ": " +
+              r.detail;
+  } else {
+    CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
+    const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
+    const CaseResult r = fuzzer.Run(c);
+    run_ok = r.ok();
+    verdict = std::string(FailureKindName(r.failure)) + ": " + r.detail;
+  }
   if (repro->expect == "violation") {
-    EXPECT_FALSE(r.ok())
+    EXPECT_FALSE(run_ok)
         << "a once-flagged crash state passed the oracle; if the machine "
            "became stricter on purpose, refresh this repro ("
         << GetParam() << ")";
   } else {
-    EXPECT_TRUE(r.ok()) << FailureKindName(r.failure) << ": " << r.detail
-                        << " (" << GetParam() << ")";
+    EXPECT_TRUE(run_ok) << verdict << " (" << GetParam() << ")";
   }
 }
 

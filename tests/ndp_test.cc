@@ -141,6 +141,69 @@ TEST(SyncMachineTest, ProtocolViolationsRejected) {
   EXPECT_FALSE(sm.ReceiveRemoteComplete(5).ok());  // out of range
 }
 
+TEST(SyncMachineTest, CompletionBeforeCommandRejectedWithoutStateChange) {
+  SyncStateMachine sm(3);
+  // Both completion flavours arriving before any command must fail cleanly
+  // and leave the machine in pristine All-Complete.
+  EXPECT_FALSE(sm.ReceiveLocalComplete().ok());
+  EXPECT_FALSE(sm.ReceiveRemoteComplete(0).ok());
+  EXPECT_TRUE(sm.AllComplete());
+  EXPECT_FALSE(sm.local_done());
+  EXPECT_EQ(sm.commands_tracked(), 0u);
+  // The machine is still usable: a full handshake succeeds afterwards.
+  ASSERT_TRUE(sm.ReceiveCommand().ok());
+  ASSERT_TRUE(sm.ReceiveLocalComplete().ok());
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(0).ok());
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(1).ok());
+  EXPECT_TRUE(sm.AllComplete());
+}
+
+TEST(SyncMachineTest, DuplicateRemoteCompletionRejectedWithoutStateChange) {
+  SyncStateMachine sm(3);
+  ASSERT_TRUE(sm.ReceiveCommand().ok());
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(0).ok());
+  EXPECT_EQ(sm.remotes_pending(), 1);
+  // Re-delivering participant 0's completion must not double-count it or
+  // complete the command early.
+  EXPECT_FALSE(sm.ReceiveRemoteComplete(0).ok());
+  EXPECT_EQ(sm.remotes_pending(), 1);
+  EXPECT_EQ(sm.state(), SyncStateMachine::State::kExecuting);
+  ASSERT_TRUE(sm.ReceiveLocalComplete().ok());
+  EXPECT_FALSE(sm.AllComplete());  // remote 1 genuinely outstanding
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(1).ok());
+  EXPECT_TRUE(sm.AllComplete());
+}
+
+TEST(SyncMachineTest, StragglerAfterAllCompleteRejected) {
+  SyncStateMachine sm(2);
+  ASSERT_TRUE(sm.ReceiveCommand().ok());
+  ASSERT_TRUE(sm.ReceiveLocalComplete().ok());
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(0).ok());
+  ASSERT_TRUE(sm.AllComplete());
+  // A straggling duplicate arriving after the machine already returned to
+  // All-Complete is an out-of-order signal, not a fresh command's completion.
+  EXPECT_FALSE(sm.ReceiveRemoteComplete(0).ok());
+  EXPECT_TRUE(sm.AllComplete());
+  EXPECT_EQ(sm.commands_tracked(), 1u);
+}
+
+TEST(SyncMachineTest, ResetAbandonsInflightCommand) {
+  SyncStateMachine sm(2);
+  ASSERT_TRUE(sm.ReceiveCommand().ok());
+  ASSERT_TRUE(sm.ReceiveLocalComplete().ok());
+  sm.Reset();
+  EXPECT_TRUE(sm.AllComplete());
+  EXPECT_FALSE(sm.local_done());
+  // Signals for the abandoned command are rejected...
+  EXPECT_FALSE(sm.ReceiveRemoteComplete(0).ok());
+  // ...and a new command starts from a clean slate.
+  ASSERT_TRUE(sm.ReceiveCommand().ok());
+  EXPECT_EQ(sm.remotes_pending(), 1);
+  ASSERT_TRUE(sm.ReceiveLocalComplete().ok());
+  ASSERT_TRUE(sm.ReceiveRemoteComplete(0).ok());
+  EXPECT_TRUE(sm.AllComplete());
+}
+
 TEST(SyncMachineTest, SingleDeviceCompletesOnLocal) {
   SyncStateMachine sm(1);
   ASSERT_TRUE(sm.ReceiveCommand().ok());

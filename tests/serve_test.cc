@@ -1,0 +1,309 @@
+// Tests for src/serve: routing, admission control, batching, the threaded
+// and deterministic execution modes, cross-shard MultiPut atomicity through
+// crashes, and throughput scaling across shards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/serve/queue.h"
+#include "src/serve/router.h"
+#include "src/serve/service.h"
+
+namespace nearpm {
+namespace serve {
+namespace {
+
+std::vector<std::uint8_t> Value(std::uint64_t tag, std::uint32_t size = 16) {
+  std::vector<std::uint8_t> v(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    v[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return v;
+}
+
+ServeOptions SmallOptions(int shards) {
+  ServeOptions so;
+  so.shards = shards;
+  so.workers_per_shard = 1;
+  so.queue_capacity = 256;
+  so.batch_max = 4;
+  so.table_slots = 128;
+  so.value_size = 16;
+  return so;
+}
+
+TEST(ShardRouterTest, StableAndInRange) {
+  ShardRouter router(4);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const int s = router.ShardFor(key);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 4);
+    EXPECT_EQ(s, router.ShardFor(key)) << "routing must be deterministic";
+  }
+}
+
+TEST(ShardRouterTest, SpreadsKeysAcrossShards) {
+  ShardRouter router(4);
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t key = 0; key < 4000; ++key) {
+    ++hits[router.ShardFor(key)];
+  }
+  for (int s = 0; s < 4; ++s) {
+    // A uniform split gives 1000 per shard; the hash must not collapse.
+    EXPECT_GT(hits[s], 500) << "shard " << s << " starved";
+    EXPECT_LT(hits[s], 1500) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, ParticipantsSortedUnique) {
+  ShardRouter router(3);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    keys.push_back(key);
+  }
+  const std::vector<int> participants = router.ParticipantsFor(keys);
+  EXPECT_EQ(participants.size(), 3u);
+  for (std::size_t i = 1; i < participants.size(); ++i) {
+    EXPECT_LT(participants[i - 1], participants[i]);
+  }
+}
+
+TEST(BoundedQueueTest, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  EXPECT_TRUE(queue.TryPush(a));
+  EXPECT_TRUE(queue.TryPush(b));
+  EXPECT_FALSE(queue.TryPush(c)) << "a full queue must reject, not block";
+  auto out = queue.TryPop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, 1);
+  EXPECT_TRUE(queue.TryPush(c));
+}
+
+TEST(KvServiceTest, PutGetRoundtripAcrossShards) {
+  auto svc = KvService::Create(SmallOptions(4));
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  std::vector<std::future<ServeResult>> futures;
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    auto fut = (*svc)->Submit(std::move(req));
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    futures.push_back(std::move(*fut));
+  }
+  (*svc)->Pump();
+  for (auto& fut : futures) {
+    EXPECT_TRUE(fut.get().status.ok());
+  }
+
+  futures.clear();
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kGet;
+    req.key = key;
+    auto fut = (*svc)->Submit(std::move(req));
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    futures.push_back(std::move(*fut));
+  }
+  (*svc)->Pump();
+  for (std::uint64_t key = 0; key < 40; ++key) {
+    ServeResult r = futures[key].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.value, Value(key)) << "key " << key;
+    EXPECT_EQ(r.shard, (*svc)->router().ShardFor(key));
+    EXPECT_GT(r.latency_ns, 0u);
+  }
+}
+
+TEST(KvServiceTest, FullQueueRejectsWithResourceExhausted) {
+  ServeOptions so = SmallOptions(1);
+  so.queue_capacity = 4;
+  auto svc = KvService::Create(so);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  int accepted = 0;
+  int rejected = 0;
+  for (std::uint64_t key = 0; key < 10; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    auto fut = (*svc)->Submit(std::move(req));
+    if (fut.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(fut.status().code(), StatusCode::kResourceExhausted);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(rejected, 6);
+  (*svc)->Pump();
+  EXPECT_EQ((*svc)->Stats().rejected, 6u);
+
+  // Draining the queue re-opens admission.
+  ServeRequest req;
+  req.kind = RequestKind::kPut;
+  req.key = 99;
+  req.value = Value(99);
+  EXPECT_TRUE((*svc)->Submit(std::move(req)).ok());
+}
+
+TEST(KvServiceTest, BatchingAmortizesFrontEndCost) {
+  auto makespan = [](int batch_max) {
+    ServeOptions so = SmallOptions(1);
+    so.batch_max = batch_max;
+    auto svc = KvService::Create(so);
+    EXPECT_TRUE(svc.ok());
+    for (std::uint64_t key = 0; key < 64; ++key) {
+      ServeRequest req;
+      req.kind = RequestKind::kPut;
+      req.key = key;
+      req.value = Value(key);
+      EXPECT_TRUE((*svc)->Submit(std::move(req)).ok());
+    }
+    (*svc)->Pump();
+    return (*svc)->Stats().makespan_ns;
+  };
+  const SimTime unbatched = makespan(1);
+  const SimTime batched = makespan(8);
+  EXPECT_LT(batched, unbatched)
+      << "one doorbell+fence per batch must beat per-request charging";
+}
+
+TEST(KvServiceTest, ThreadedModeServesAndStops) {
+  ServeOptions so = SmallOptions(2);
+  so.workers_per_shard = 2;
+  auto svc = KvService::Create(so);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  (*svc)->Start();
+  std::vector<std::future<ServeResult>> futures;
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    auto fut = (*svc)->Submit(std::move(req));
+    if (fut.ok()) {
+      futures.push_back(std::move(*fut));
+    }
+  }
+  for (auto& fut : futures) {
+    EXPECT_TRUE(fut.get().status.ok());
+  }
+  (*svc)->Stop();
+  EXPECT_EQ((*svc)->Stats().completed, futures.size());
+  EXPECT_EQ((*svc)->PpoViolations(), 0u);
+}
+
+TEST(KvServiceTest, MultiPutAppliesToEveryShard) {
+  auto svc = KvService::Create(SmallOptions(3));
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  std::vector<KvPair> pairs;
+  for (std::uint64_t key = 500; key < 506; ++key) {
+    pairs.push_back(KvPair{key, Value(key)});
+  }
+  ASSERT_TRUE((*svc)->ExecuteMultiPut(pairs).ok());
+  for (const KvPair& pair : pairs) {
+    Shard& shard = (*svc)->shard((*svc)->router().ShardFor(pair.key));
+    std::lock_guard lock(shard.mu());
+    auto got = shard.Get(shard.TxnTid(), pair.key);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, pair.value);
+  }
+  EXPECT_EQ((*svc)->Stats().txns, 1u);
+}
+
+TEST(KvServiceTest, CrashDuringCrossShardSyncRecoversAllOrNothing) {
+  auto svc = KvService::Create(SmallOptions(3));
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  std::vector<KvPair> pairs;
+  for (std::uint64_t key = 700; key < 706; ++key) {
+    pairs.push_back(KvPair{key, Value(key)});
+  }
+  // Stop after the first participant's local-complete: some shards applied
+  // their slice, others never saw it -- the worst window for atomicity.
+  TxnStop stop;
+  stop.phase = TxnStopPhase::kAfterApply;
+  stop.apply_ordinal = 0;
+  const Status stopped = (*svc)->ExecuteMultiPut(pairs, stop);
+  EXPECT_EQ(stopped.code(), StatusCode::kUnavailable);
+
+  std::vector<CrashPlan> plans((*svc)->num_shards());
+  (*svc)->CrashAll(plans);
+  ASSERT_TRUE((*svc)->RecoverAll().ok());
+
+  // The durable intent must have been redone on every shard: all-or-ALL.
+  for (const KvPair& pair : pairs) {
+    Shard& shard = (*svc)->shard((*svc)->router().ShardFor(pair.key));
+    std::lock_guard lock(shard.mu());
+    auto got = shard.Get(shard.TxnTid(), pair.key);
+    ASSERT_TRUE(got.ok()) << "pair " << pair.key << " lost: "
+                          << got.status().ToString();
+    EXPECT_EQ(*got, pair.value);
+  }
+  EXPECT_EQ((*svc)->PpoViolations(), 0u);
+}
+
+TEST(KvServiceTest, ThroughputScalesWithShards) {
+  auto throughput = [](int shards) {
+    auto svc = KvService::Create(SmallOptions(shards));
+    EXPECT_TRUE(svc.ok());
+    for (std::uint64_t key = 0; key < 200; ++key) {
+      ServeRequest req;
+      req.kind = RequestKind::kPut;
+      req.key = key;
+      req.value = Value(key);
+      EXPECT_TRUE((*svc)->Submit(std::move(req)).ok());
+    }
+    (*svc)->Pump();
+    return (*svc)->Stats().throughput_ops_per_sec;
+  };
+  const double one = throughput(1);
+  const double four = throughput(4);
+  EXPECT_GT(one, 0.0);
+  // Shards run on independent virtual machines; the makespan is the slowest
+  // shard's clock, so 4 shards must come well out ahead of 1.
+  EXPECT_GT(four, 2.0 * one);
+}
+
+TEST(KvServiceTest, StatsExposeQueueAndLatencyInstrumentation) {
+  auto svc = KvService::Create(SmallOptions(2));
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    ASSERT_TRUE((*svc)->Submit(std::move(req)).ok());
+  }
+  (*svc)->Pump();
+  const ServeStats stats = (*svc)->Stats();
+  EXPECT_EQ(stats.completed, 50u);
+  EXPECT_EQ(stats.puts, 50u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.makespan_ns, 0u);
+  EXPECT_GT(stats.request_p50_ns, 0u);
+  EXPECT_GE(stats.request_p99_ns, stats.request_p50_ns);
+  EXPECT_GT(stats.throughput_ops_per_sec, 0.0);
+  // The registry carries the per-shard depth and batch-size histograms.
+  EXPECT_NE((*svc)->metrics().histograms().find("serve_queue_depth"),
+            (*svc)->metrics().histograms().end());
+  EXPECT_NE((*svc)->metrics().histograms().find("serve_batch_size"),
+            (*svc)->metrics().histograms().end());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace nearpm

@@ -12,6 +12,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -362,6 +363,41 @@ TEST(MetricsRegistryTest, ReportAndJsonRoundTrip) {
   const Json* latencies = root.Find("latencies_ns");
   ASSERT_NE(latencies, nullptr);
   EXPECT_NE(latencies->Find("unit_exec"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingFromWorkerThreads) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&metrics, t] {
+      // Mix of a shared counter (contended), per-thread counters (map
+      // insertion under load) and shared histograms, like serve workers do.
+      auto& cached = metrics.Counter("requests_total");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        cached.fetch_add(1, std::memory_order_relaxed);
+        metrics.Increment("batches_total");
+        metrics.Increment("worker_" + std::to_string(t) + "_ops");
+        metrics.AddLatency("request_ns", (i % 7 + 1) * 100);
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+
+  EXPECT_EQ(metrics.counters().at("requests_total"), kThreads * kPerThread);
+  EXPECT_EQ(metrics.counters().at("batches_total"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(metrics.counters().at("worker_" + std::to_string(t) + "_ops"),
+              kPerThread);
+  }
+  EXPECT_EQ(metrics.histograms().at("request_ns").count(),
+            kThreads * kPerThread);
+  EXPECT_GT(metrics.histograms().at("request_ns").Percentile(0.99), 0u);
 }
 
 // ---- Chrome trace exporter --------------------------------------------------

@@ -26,6 +26,7 @@
 
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_fuzzer.h"
+#include "src/serve/serve_fuzzer.h"
 
 namespace nearpm {
 namespace fuzz {
@@ -129,18 +130,38 @@ int ReplayCorpus(const CliOptions& cli) {
       ++bad;
       continue;
     }
-    CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
-    const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
-    const CaseResult r = fuzzer.Run(c);
+    bool run_ok = false;
+    const char* got = "";
+    std::string detail;
+    if (repro->kind == "serve") {
+      serve::ServeFuzzer fuzzer(serve::ServeFuzzer::ConfigFromRepro(*repro));
+      auto c = serve::ServeFuzzer::CaseFromRepro(*repro);
+      if (!c.ok()) {
+        std::printf("ERROR %s: %s\n", path.c_str(),
+                    c.status().ToString().c_str());
+        ++bad;
+        continue;
+      }
+      const serve::ServeCaseResult r = fuzzer.Run(*c);
+      run_ok = r.ok();
+      got = serve::ServeFailureKindName(r.failure);
+      detail = r.detail;
+    } else {
+      CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
+      const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
+      const CaseResult r = fuzzer.Run(c);
+      run_ok = r.ok();
+      got = FailureKindName(r.failure);
+      detail = r.detail;
+    }
     const bool want_failure = repro->expect == "violation";
-    const bool pass = want_failure ? !r.ok() : r.ok();
+    const bool pass = want_failure ? !run_ok : run_ok;
     std::printf("%s %s (%s/%s expect=%s got=%s)\n", pass ? "OK  " : "FAIL",
                 path.c_str(), MechanismName(repro->mechanism),
-                ExecModeName(repro->mode), repro->expect.c_str(),
-                FailureKindName(r.failure));
+                ExecModeName(repro->mode), repro->expect.c_str(), got);
     if (!pass) {
-      if (!r.detail.empty()) {
-        std::printf("  %s\n", r.detail.c_str());
+      if (!detail.empty()) {
+        std::printf("  %s\n", detail.c_str());
       }
       ++bad;
     }
