@@ -73,6 +73,14 @@ ServeRun RunServe(int shards, int batch_max, std::uint64_t requests,
   if ((*svc)->PpoViolations() > 0) {
     std::abort();  // the bench must never trade correctness for speed
   }
+  // Fold this service's observability into the process registry so
+  // --metrics-out carries serve counters, latency quantiles and per-shard
+  // per-unit duty cycles alongside the trace-derived metrics.
+  (*svc)->ExportResourceMetrics();
+  BenchMetrics().MergeFrom((*svc)->metrics());
+  for (int s = 0; s < (*svc)->num_shards(); ++s) {
+    BenchMetrics().MergeFrom((*svc)->shard(s).recorder().metrics());
+  }
   return run;
 }
 

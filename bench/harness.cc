@@ -126,6 +126,11 @@ std::unique_ptr<TraceRecorder> g_bench_trace;
 
 TraceRecorder* BenchTrace() { return g_bench_trace.get(); }
 
+MetricsRegistry& BenchMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
 void AttachBenchTrace(Runtime& rt) {
   if (g_bench_trace == nullptr) {
     return;
@@ -138,12 +143,15 @@ void AttachBenchTrace(Runtime& rt) {
 
 int BenchMain(int argc, char** argv, const std::string& figure) {
   std::string trace_out;
+  std::string metrics_out;
   std::string json_out = "BENCH_" + figure + ".json";
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--trace-out=", 0) == 0) {
       trace_out = a.substr(sizeof("--trace-out=") - 1);
+    } else if (a.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = a.substr(sizeof("--metrics-out=") - 1);
     } else if (a.rfind("--json-out=", 0) == 0) {
       json_out = a.substr(sizeof("--json-out=") - 1);
     } else {
@@ -162,7 +170,7 @@ int BenchMain(int argc, char** argv, const std::string& figure) {
   }
   args.push_back(nullptr);
 
-  if (!trace_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty()) {
     g_bench_trace = std::make_unique<TraceRecorder>();
   }
 
@@ -183,6 +191,20 @@ int BenchMain(int argc, char** argv, const std::string& figure) {
                  static_cast<unsigned long long>(g_bench_trace->dropped()),
                  trace_out.c_str());
     std::fputs(g_bench_trace->metrics().Report().c_str(), stderr);
+  }
+  if (!metrics_out.empty()) {
+    MetricsRegistry merged;
+    merged.MergeFrom(g_bench_trace->metrics());
+    merged.MergeFrom(BenchMetrics());
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    const std::string text = merged.ToPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
   }
   return 0;
 }

@@ -67,9 +67,20 @@ const char* ShortModeName(ExecMode mode);
 //                       figure's numbers). Defaults to BENCH_<figure>.json
 //                       next to the binary's working directory; pass an
 //                       empty value to disable.
+//   --metrics-out=<file> Prometheus text-format exposition of every metric
+//                       the runs produced: per-phase counters and latency
+//                       quantiles from the trace stream, occupancy gauges,
+//                       and whatever the benchmark added to BenchMetrics().
+//                       Implies trace capture (without the Chrome file).
 //
 // Returns the process exit code.
 int BenchMain(int argc, char** argv, const std::string& figure);
+
+// Process-wide registry for metrics a benchmark computes itself (e.g.
+// bench_serve_shards merges each KvService's registry and per-shard duty
+// gauges here). Written to --metrics-out together with the bench
+// recorder's own registry.
+MetricsRegistry& BenchMetrics();
 
 // The process-wide bench recorder; null unless --trace-out was given (so
 // instrumentation stays a single branch in performance runs).

@@ -40,6 +40,8 @@ Histogram& Histogram::operator=(const Histogram& other) {
   }
   total_.store(other.total_.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
   return *this;
 }
 
@@ -48,6 +50,18 @@ void Histogram::Add(std::uint64_t value) {
   buckets_[bucket >= kBuckets ? kBuckets - 1 : bucket].fetch_add(
       1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::Percentile(double q) const {

@@ -35,6 +35,19 @@ class RunningStat {
 // bucketing, values in arbitrary units). Add() is safe to call from
 // concurrent threads; queries are accurate once writers have quiesced
 // (concurrent queries see some valid intermediate population).
+//
+// Power-of-two upper-bound semantics: a value v lands in bucket
+// bit_width(v), i.e. bucket i covers [2^(i-1), 2^i - 1] (bucket 0 holds
+// exactly v == 0). Percentile(q) walks the buckets to the smallest one
+// containing the q-quantile sample and returns that bucket's *inclusive
+// upper bound*, 2^i - 1 -- an upper bound on the true quantile, never an
+// interpolation. Consequences worth knowing:
+//  * Percentile is exact only for values that are themselves 2^i - 1;
+//    otherwise it overshoots by at most 2x (the bucket width).
+//  * Percentile(0.0) is the upper bound of the smallest populated bucket,
+//    not the minimum sample; Percentile(1.0) is the upper bound of the
+//    largest populated bucket, not the maximum sample.
+//  * An empty histogram reports 0 for every quantile.
 class Histogram {
  public:
   Histogram();
@@ -43,14 +56,19 @@ class Histogram {
 
   void Add(std::uint64_t value);
   std::uint64_t count() const { return total_.load(std::memory_order_relaxed); }
-  // Returns an upper bound for the q-quantile (q in [0,1]).
+  // Exact sum of all added values (unlike the bucketed quantiles).
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Returns an upper bound for the q-quantile (q in [0,1]); see above.
   std::uint64_t Percentile(double q) const;
+  // Adds `other`'s population (bucket-wise) into this histogram.
+  void MergeFrom(const Histogram& other);
   std::string ToString() const;
 
  private:
   static constexpr int kBuckets = 64;
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
 // Geometric mean of a set of ratios (the paper reports average speedups).

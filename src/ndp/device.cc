@@ -23,7 +23,8 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
   IssueResult result;
 
   // 1. MMIO command post on the dedicated control path.
-  result.cpu_release = cpu_now + NsToTime(cost_->cmd_post_ns);
+  const SimTime nominal_release = cpu_now + NsToTime(cost_->cmd_post_ns);
+  result.cpu_release = nominal_release;
 
   // 2. Request FIFO backpressure: posting stalls the CPU while all entries
   //    are occupied. An entry frees when its request is dispatched to a unit.
@@ -38,10 +39,13 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
     ++stats_.fifo_backpressure_stalls;
   }
 
+  // arg1 marks where the nominal MMIO post ends and FIFO backpressure
+  // begins, so the profiler can attribute the two separately.
   NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCmdPost,
                     .pid = kTracePciePid, .ts = cpu_now,
                     .dur = result.cpu_release - cpu_now, .seq = seq,
-                    .arg0 = static_cast<std::uint64_t>(op));
+                    .arg0 = static_cast<std::uint64_t>(op),
+                    .arg1 = nominal_release);
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kFifoEnqueue,
                      .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
                      .ts = result.cpu_release, .seq = seq);
@@ -50,10 +54,13 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
   const SimTime arrival =
       result.cpu_release + NsToTime(cost_->cmd_device_pipeline_ns);
   SimTime start_lb = std::max(arrival, earliest_start);
+  // arg1 carries the ordered start lower bound (earliest_start clamp): the
+  // gap between pipeline exit and arg1 is synchronization-ordering wait.
   NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kDevPipeline,
                     .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
                     .ts = result.cpu_release,
-                    .dur = arrival - result.cpu_release, .seq = seq);
+                    .dur = arrival - result.cpu_release, .seq = seq,
+                    .arg1 = start_lb);
 
   // 4. NDP-NDP ordering: a request conflicting with an in-flight one is
   //    buffered until the in-flight access completes (Section 5.3.1).
@@ -77,6 +84,10 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
   result.completion = units_.Schedule(start_lb, work_ns, &unit_index);
   const SimTime dispatch_time = result.completion - NsToTime(work_ns);
   fifo_dispatch_times_.push_back(dispatch_time);
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kFifoDepth,
+                     .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                     .ts = result.cpu_release,
+                     .arg0 = fifo_dispatch_times_.size());
   NEARPM_TRACE_SPAN(
       trace_, .phase = TracePhase::kUnitExec, .pid = TraceDevicePid(id_),
       .tid = kTraceUnitTidBase + static_cast<std::uint32_t>(unit_index),
@@ -87,6 +98,9 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
   inflight_.Prune(cpu_now);
   inflight_.Insert(
       InflightTable::Entry{seq, read_range, write_range, result.completion});
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kInflightDepth,
+                     .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
+                     .ts = dispatch_time, .arg0 = inflight_.size());
   last_completion_ = std::max(last_completion_, result.completion);
   stats_.unit_busy_ns += work_ns;
   ++stats_.requests;

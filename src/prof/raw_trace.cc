@@ -1,0 +1,79 @@
+#include "src/prof/raw_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace nearpm {
+
+namespace {
+
+// Fixed line layout shared by writer and reader. The phase travels by name,
+// not enum value, so files survive enum reordering.
+constexpr char kLineFormat[] =
+    "{\"phase\":\"%s\",\"pid\":%" PRIu32 ",\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
+    ",\"dur\":%" PRIu64 ",\"seq\":%" PRIu64 ",\"range\":[%" PRIu64 ",%" PRIu64
+    "],\"range2\":[%" PRIu64 ",%" PRIu64 "],\"arg0\":%" PRIu64
+    ",\"arg1\":%" PRIu64 ",\"epoch\":%" PRIu32 ",\"order\":%" PRIu64 "}";
+
+constexpr char kScanFormat[] =
+    "{\"phase\":\"%31[a-z_]\",\"pid\":%" SCNu32 ",\"tid\":%" SCNu32
+    ",\"ts\":%" SCNu64 ",\"dur\":%" SCNu64 ",\"seq\":%" SCNu64
+    ",\"range\":[%" SCNu64 ",%" SCNu64 "],\"range2\":[%" SCNu64 ",%" SCNu64
+    "],\"arg0\":%" SCNu64 ",\"arg1\":%" SCNu64 ",\"epoch\":%" SCNu32
+    ",\"order\":%" SCNu64 "}";
+
+bool PhaseFromName(const char* name, TracePhase* out) {
+  for (int i = 0; i < static_cast<int>(TracePhase::kCount); ++i) {
+    const TracePhase phase = static_cast<TracePhase>(i);
+    if (std::strcmp(name, TracePhaseName(phase)) == 0) {
+      *out = phase;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void WriteRawTrace(const std::vector<TraceEvent>& events, std::ostream& os) {
+  char buf[512];
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf), kLineFormat, TracePhaseName(e.phase),
+                  e.pid, e.tid, e.ts, e.dur, e.seq, e.range.begin, e.range.end,
+                  e.range2.begin, e.range2.end, e.arg0, e.arg1, e.epoch,
+                  e.order);
+    os << buf << "\n";
+  }
+}
+
+bool ReadRawTrace(std::istream& is, std::vector<TraceEvent>* out,
+                  std::string* error) {
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    char phase_name[32] = {};
+    TraceEvent e;
+    const int matched = std::sscanf(
+        line.c_str(), kScanFormat, phase_name, &e.pid, &e.tid, &e.ts, &e.dur,
+        &e.seq, &e.range.begin, &e.range.end, &e.range2.begin, &e.range2.end,
+        &e.arg0, &e.arg1, &e.epoch, &e.order);
+    if (matched != 14 || !PhaseFromName(phase_name, &e.phase)) {
+      if (error != nullptr) {
+        *error = "malformed raw trace line " + std::to_string(line_no) + ": " +
+                 line;
+      }
+      return false;
+    }
+    out->push_back(e);
+  }
+  return true;
+}
+
+}  // namespace nearpm

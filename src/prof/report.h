@@ -1,0 +1,33 @@
+// Renderers for a Profile: a human-readable attribution report, a folded
+// stack file for flamegraph tooling, and a deterministic profile JSON that
+// CI diffs against committed baselines.
+#ifndef SRC_PROF_REPORT_H_
+#define SRC_PROF_REPORT_H_
+
+#include <string>
+
+#include "src/prof/profile.h"
+
+namespace nearpm {
+
+// Human-readable report: attribution totals, the slowest requests with
+// their per-phase breakdown, resource duty cycles and occupancy stats.
+std::string RenderReport(const Profile& profile);
+
+// Folded-stack output, one "frame;frame;... count" line per aggregated
+// stack, consumable by flamegraph.pl / inferno / speedscope. Request
+// phases fold under request;<device>;<phase>; all other span phases fold
+// under their resource track. Counts are nanoseconds.
+std::string RenderFolded(const Profile& profile);
+
+// Deterministic profile JSON (schema "nearpm-profile-v1"). `config_json`
+// is embedded verbatim under "config" and must itself be valid JSON (pass
+// "{}" when there is nothing to record). All numbers are integral
+// nanoseconds or fixed six-decimal ratios, so the same simulation always
+// renders byte-identical output.
+std::string RenderProfileJson(const Profile& profile,
+                              const std::string& config_json);
+
+}  // namespace nearpm
+
+#endif  // SRC_PROF_REPORT_H_

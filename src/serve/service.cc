@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/ndp/sync_machine.h"
+#include "src/prof/profile.h"
 #include "src/trace/ppo_checker.h"
 
 namespace nearpm {
@@ -218,6 +219,13 @@ void KvService::ExecuteBatch(int shard_id, int worker,
                        .pid = kTraceServePid,
                        .tid = static_cast<std::uint32_t>(tid),
                        .ts = batch_start, .arg0 = locals.size());
+    // Residual backlog after this batch was picked up: the shard-queue
+    // occupancy series the profiler and Perfetto counter track render.
+    NEARPM_TRACE_EVENT(&shard.recorder(),
+                       .phase = TracePhase::kServeQueueDepth,
+                       .pid = kTraceServePid,
+                       .tid = static_cast<std::uint32_t>(tid),
+                       .ts = batch_start, .arg0 = queues_[shard_id]->size());
     for (QueuedRequest& item : locals) {
       (void)ExecuteLocal(shard, tid, item, batch_start);
     }
@@ -431,6 +439,16 @@ std::uint64_t KvService::PpoViolations(std::string* report) {
     }
   }
   return total;
+}
+
+void KvService::ExportResourceMetrics() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu());
+    const Profile profile = BuildProfile(shard->recorder());
+    nearpm::ExportResourceMetrics(
+        profile, &metrics_, "serve_",
+        "shard=\"" + std::to_string(shard->id()) + "\",");
+  }
 }
 
 std::uint64_t KvService::CounterValue(const std::string& name) const {

@@ -156,6 +156,12 @@ class KvService {
   // appends human-readable reports to `report` when non-null.
   std::uint64_t PpoViolations(std::string* report = nullptr);
 
+  // Folds every shard's trace through the profiler and publishes per-shard
+  // resource gauges into metrics(): unit/dispatcher duty cycles and sampled
+  // queue/FIFO occupancy, labeled serve_duty{shard="0",resource="..."}.
+  // Call quiesced (after Stop()/Pump()), like Stats().
+  void ExportResourceMetrics();
+
   ServeStats Stats() const;
 
  private:

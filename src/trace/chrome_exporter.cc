@@ -49,6 +49,10 @@ const char* PhaseCategory(TracePhase phase) {
     case TracePhase::kServeRequest:
     case TracePhase::kServeTxn:
       return "serve";
+    case TracePhase::kFifoDepth:
+    case TracePhase::kInflightDepth:
+    case TracePhase::kServeQueueDepth:
+      return "counter";
     case TracePhase::kCount:
       break;
   }
@@ -143,6 +147,21 @@ void WriteChromeTrace(const std::vector<TraceEvent>& events, std::ostream& os,
   }
 
   for (const TraceEvent& e : events) {
+    // Counter samples become Chrome counter-track events ("ph": "C"):
+    // Perfetto renders one graph per (pid, name) series, so queue depth and
+    // in-flight-table occupancy plot alongside the span lanes.
+    if (TracePhaseIsCounter(e.phase)) {
+      std::string line = "{\"name\": \"";
+      line += TracePhaseName(e.phase);
+      line += "\", \"cat\": \"";
+      line += PhaseCategory(e.phase);
+      line += "\", \"ph\": \"C\", \"pid\": " + std::to_string(e.pid) +
+              ", \"tid\": " + std::to_string(e.tid) + ", \"ts\": ";
+      AppendMicros(line, e.ts + epoch_offset[e.epoch]);
+      line += ", \"args\": {\"value\": " + std::to_string(e.arg0) + "}}";
+      emit(line);
+      continue;
+    }
     std::string line = "{\"name\": \"";
     line += TracePhaseName(e.phase);
     line += "\", \"cat\": \"";

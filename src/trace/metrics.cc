@@ -1,10 +1,77 @@
 #include "src/trace/metrics.h"
 
+#include <cstdio>
+
 namespace nearpm {
+
+namespace {
+
+// Formats a gauge deterministically: integral values print without a
+// fractional part so byte-stable snapshots stay diff-friendly.
+std::string FormatDouble(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+  }
+  return buf;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
+// A '{' starts a label suffix which passes through untouched.
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c == '{') {
+      out.append(name, i, std::string::npos);
+      break;
+    }
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+// Base name of a (possibly label-suffixed) series: everything before '{'.
+std::string BaseName(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void EmitTypeOnce(std::string& out, std::string& last_base,
+                  const std::string& base, const char* type) {
+  if (base == last_base) {
+    return;
+  }
+  last_base = base;
+  out += "# TYPE " + base + " " + type + "\n";
+}
+
+}  // namespace
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // `other` is quiesced by contract; taking its lock shared still guards
+  // against a concurrent find-or-create on it.
+  std::shared_lock other_lock(other.mu_);
+  for (const auto& [name, value] : other.counters_) {
+    Increment(name, value.load(std::memory_order_relaxed));
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    SetGauge(name, gauge.value());
+  }
+  for (const auto& [name, hist] : other.histograms_) {
+    Latency(name).MergeFrom(hist);
+  }
+}
 
 void MetricsRegistry::Reset() {
   std::unique_lock lock(mu_);
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 
@@ -14,6 +81,9 @@ std::string MetricsRegistry::Report() const {
   for (const auto& [name, value] : counters_) {
     out += name + " = " +
            std::to_string(value.load(std::memory_order_relaxed)) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += name + " = " + FormatDouble(gauge.value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     out += name + ": n=" + std::to_string(hist.count()) +
@@ -34,6 +104,13 @@ std::string MetricsRegistry::ToJson() const {
     out += "\"" + name +
            "\": " + std::to_string(value.load(std::memory_order_relaxed));
   }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + FormatDouble(gauge.value());
+  }
   out += "}, \"latencies_ns\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
@@ -46,6 +123,43 @@ std::string MetricsRegistry::ToJson() const {
            ", \"max\": " + std::to_string(hist.Percentile(1.0)) + "}";
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
+  std::shared_lock lock(mu_);
+  std::string out;
+  std::string last_base;
+  // std::map iteration is sorted, so label-suffixed series sharing a base
+  // name are adjacent and get exactly one # TYPE header.
+  for (const auto& [name, value] : counters_) {
+    const std::string series = prefix + "_" + SanitizePrometheusName(name);
+    EmitTypeOnce(out, last_base, BaseName(series), "counter");
+    out += series + " " +
+           std::to_string(value.load(std::memory_order_relaxed)) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string series = prefix + "_" + SanitizePrometheusName(name);
+    EmitTypeOnce(out, last_base, BaseName(series), "gauge");
+    out += series + " " + FormatDouble(gauge.value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    // The latency histogram shares its registry key with the phase counter;
+    // a Prometheus name must have exactly one type, so the summary gets its
+    // own _latency_ns base.
+    const std::string series = prefix + "_" + SanitizePrometheusName(name);
+    const std::string base = BaseName(series) + "_latency_ns";
+    out += "# TYPE " + base + " summary\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.5}, {"0.9", 0.9},
+          {"0.99", 0.99}}) {
+      out += base + "{quantile=\"" + label + "\"} " +
+             std::to_string(hist.Percentile(q)) + "\n";
+    }
+    out += base + "_sum " + std::to_string(hist.sum()) + "\n";
+    out += base + "_count " + std::to_string(hist.count()) + "\n";
+  }
   return out;
 }
 

@@ -1,19 +1,27 @@
-// Registry of named counters and latency histograms.
+// Registry of named counters, gauges and latency histograms.
 //
 // The trace recorder feeds every span's duration into a histogram named
 // after its phase, giving a per-phase latency breakdown of the request
 // lifecycle for free; subsystems can additionally register their own
-// counters (requests issued, conflicts, bytes moved...). Recording is safe
-// from concurrent threads: counters are atomics and histogram buckets are
-// atomic, with a shared mutex taken only to find-or-create the map node
+// counters (requests issued, conflicts, bytes moved...) and gauges
+// (last-sampled queue depths, duty cycles). Recording is safe from
+// concurrent threads: counters and gauges are atomics and histogram buckets
+// are atomic, with a shared mutex taken only to find-or-create the map node
 // (std::map nodes are stable, so the returned references stay valid for the
 // registry's lifetime and can be cached by hot paths for lock-free
 // recording). Reports are accurate once writers have quiesced and render
-// either as human-readable text or as JSON for trajectory tracking.
+// as human-readable text, as JSON for trajectory tracking, or as the
+// Prometheus text exposition format for standard scrape tooling.
+//
+// Metric names may carry a Prometheus label suffix, e.g.
+// `unit_duty_cycle{shard="0",unit="2"}`: the maps treat the whole string as
+// the key, and the Prometheus writer groups series sharing the base name
+// (up to the '{') under one # TYPE header.
 #ifndef SRC_TRACE_METRICS_H_
 #define SRC_TRACE_METRICS_H_
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -24,9 +32,26 @@
 
 namespace nearpm {
 
+// A settable point-in-time value (queue depth, duty cycle, occupancy). The
+// double payload rides one atomic word via bit_cast so Set/value are
+// lock-free and safe from concurrent threads.
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // 0 bits == 0.0
+};
+
 class MetricsRegistry {
  public:
   using CounterMap = std::map<std::string, std::atomic<std::uint64_t>>;
+  using GaugeMap = std::map<std::string, Gauge>;
   using HistogramMap = std::map<std::string, Histogram>;
 
   // Named monotonic counter (created on first use). The reference stays
@@ -56,32 +81,62 @@ class MetricsRegistry {
     return histograms_[name];
   }
 
+  // Named gauge (created on first use). Same lifetime/caching contract as
+  // Counter().
+  Gauge& GaugeRef(const std::string& name) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = gauges_.find(name);
+      if (it != gauges_.end()) {
+        return it->second;
+      }
+    }
+    std::unique_lock lock(mu_);
+    return gauges_[name];
+  }
+
   void AddLatency(const std::string& name, std::uint64_t ns) {
     Latency(name).Add(ns);
   }
   void Increment(const std::string& name, std::uint64_t by = 1) {
     Counter(name).fetch_add(by, std::memory_order_relaxed);
   }
+  void SetGauge(const std::string& name, double value) {
+    GaugeRef(name).Set(value);
+  }
 
   bool empty() const {
     std::shared_lock lock(mu_);
-    return counters_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
   // Direct views for tests and exporters. Only safe while no thread can be
   // creating new metrics (values may still be concurrently incremented).
   const CounterMap& counters() const { return counters_; }
+  const GaugeMap& gauges() const { return gauges_; }
   const HistogramMap& histograms() const { return histograms_; }
+
+  // Folds `other` into this registry: counters add, gauges take `other`'s
+  // value, histograms merge bucket-wise. `other` must be quiesced.
+  void MergeFrom(const MetricsRegistry& other);
 
   void Reset();
 
-  // One line per metric: counters, then histograms with count/p50/p99/max.
+  // One line per metric: counters, then gauges, then histograms with
+  // count/p50/p99/max.
   std::string Report() const;
-  // {"counters": {...}, "latencies_ns": {"phase": {"count":..,"p50":..}}}
+  // {"counters": {...}, "gauges": {...},
+  //  "latencies_ns": {"phase": {"count":..,"p50":..}}}
   std::string ToJson() const;
+  // Prometheus text exposition format (version 0.0.4): counters as
+  // `<prefix>_<name> v`, gauges likewise, histograms as summaries with
+  // quantile series plus _sum and _count. Invalid metric-name characters
+  // are sanitized to '_'; label suffixes ({...}) pass through untouched.
+  std::string ToPrometheus(const std::string& prefix = "nearpm") const;
 
  private:
   mutable std::shared_mutex mu_;
   CounterMap counters_;
+  GaugeMap gauges_;
   HistogramMap histograms_;
 };
 

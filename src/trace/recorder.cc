@@ -62,10 +62,22 @@ const char* TracePhaseName(TracePhase phase) {
       return "serve_request";
     case TracePhase::kServeTxn:
       return "serve_txn";
+    case TracePhase::kFifoDepth:
+      return "fifo_depth";
+    case TracePhase::kInflightDepth:
+      return "inflight_depth";
+    case TracePhase::kServeQueueDepth:
+      return "serve_queue_depth";
     case TracePhase::kCount:
       break;
   }
   return "?";
+}
+
+bool TracePhaseIsCounter(TracePhase phase) {
+  return phase == TracePhase::kFifoDepth ||
+         phase == TracePhase::kInflightDepth ||
+         phase == TracePhase::kServeQueueDepth;
 }
 
 TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)
@@ -88,9 +100,16 @@ void TraceRecorder::Record(TraceEvent event) {
     ++dropped_;
   }
   if (options_.feed_metrics) {
-    metrics_.Increment(TracePhaseName(event.phase));
-    if (event.is_span()) {
-      metrics_.AddLatency(TracePhaseName(event.phase), event.dur);
+    if (TracePhaseIsCounter(event.phase)) {
+      // Counter samples track a level, not an occurrence: the registry
+      // keeps the last sampled value as a gauge.
+      metrics_.SetGauge(TracePhaseName(event.phase),
+                        static_cast<double>(event.arg0));
+    } else {
+      metrics_.Increment(TracePhaseName(event.phase));
+      if (event.is_span()) {
+        metrics_.AddLatency(TracePhaseName(event.phase), event.dur);
+      }
     }
   }
 }

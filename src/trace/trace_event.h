@@ -58,10 +58,19 @@ enum class TracePhase : std::uint8_t {
   kServeBatch,   // span: one worker batch against a shard (arg0 = batch size)
   kServeRequest, // span: one request executing inside a batch
   kServeTxn,     // span: cross-shard MultiPut (intent, apply, sync, retire)
+  // ---- Counter samples (arg0 = sampled value). Rendered as Chrome counter
+  // tracks by the exporter, folded into occupancy statistics by the
+  // profiler, and mirrored into a registry gauge by the recorder.
+  kFifoDepth,       // Request-FIFO occupancy after an enqueue
+  kInflightDepth,   // In-flight Access Table population after an insert
+  kServeQueueDepth, // shard queue backlog at batch pickup
   kCount,
 };
 
 const char* TracePhaseName(TracePhase phase);
+// True for the counter-sample phases above: instants whose arg0 is a
+// sampled series value rather than a phase-specific annotation.
+bool TracePhaseIsCounter(TracePhase phase);
 
 // Track addressing: Chrome trace events live on a (pid, tid) pair; we give
 // every simulated resource its own pair so Perfetto renders one lane each.

@@ -155,6 +155,50 @@ TEST(HistogramTest, PercentilesMonotone) {
   EXPECT_GE(h.Percentile(0.99), 512u);
 }
 
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 0u);
+}
+
+TEST(HistogramTest, SingleSampleReturnsBucketUpperBound) {
+  Histogram h;
+  h.Add(100);  // bucket [64, 127]
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 100u);
+  // Every quantile of a one-sample distribution lands in the same bucket
+  // and reports its inclusive upper bound 2^7 - 1.
+  EXPECT_EQ(h.Percentile(0.0), 127u);
+  EXPECT_EQ(h.Percentile(0.5), 127u);
+  EXPECT_EQ(h.Percentile(1.0), 127u);
+}
+
+TEST(HistogramTest, QuantileExtremesBracketTheSamples) {
+  Histogram h;
+  h.Add(1);     // bucket upper bound 1
+  h.Add(1000);  // bucket [512, 1023], upper bound 1023
+  // q=0 resolves to the smallest populated bucket, q=1 to the largest.
+  EXPECT_EQ(h.Percentile(0.0), 1u);
+  EXPECT_EQ(h.Percentile(1.0), 1023u);
+  EXPECT_EQ(h.sum(), 1001u);
+}
+
+TEST(HistogramTest, MergeFromAccumulates) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(1000);
+  b.Add(1);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1011u);
+  EXPECT_EQ(a.Percentile(0.0), 1u);
+  EXPECT_EQ(a.Percentile(1.0), 1023u);
+}
+
 TEST(GeoMeanTest, Basics) {
   EXPECT_DOUBLE_EQ(GeoMean({4.0, 1.0}), 2.0);
   EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);

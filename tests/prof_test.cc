@@ -1,0 +1,421 @@
+// Tests for src/prof: critical-path attribution (and its exact-sum
+// invariant), per-resource duty cycles, sampled occupancy, the raw trace
+// round trip, the deterministic renderers, and the Prometheus exposition
+// (including the serve layer's per-shard duty gauges).
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/core/runtime.h"
+#include "src/prof/profile.h"
+#include "src/prof/raw_trace.h"
+#include "src/prof/report.h"
+#include "src/serve/service.h"
+#include "src/trace/recorder.h"
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+namespace {
+
+// Runs `ops` operations of one workload with a recorder attached and
+// returns the trace. Mirrors the bench harness loop.
+std::vector<TraceEvent> TraceWorkload(const std::string& name, ExecMode mode,
+                                      TraceRecorder* recorder,
+                                      std::uint64_t ops = 120) {
+  RuntimeOptions opts;
+  opts.mode = mode;
+  opts.pm_size = 64ull << 20;
+  opts.retain_crash_state = false;
+  Runtime rt(opts);
+  rt.AttachTrace(recorder);
+  PoolArena arena(0);
+
+  auto workload = CreateWorkload(name);
+  EXPECT_NE(workload, nullptr) << name;
+  WorkloadConfig wc;
+  wc.mechanism = Mechanism::kLogging;
+  wc.initial_keys = 100;
+  wc.seed = 7;
+  EXPECT_TRUE(workload->Setup(rt, arena, wc).ok()) << name;
+  rt.DrainDevices(0);
+
+  Rng rng(11);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    EXPECT_TRUE(workload->RunOp(0, rng).ok()) << name << " op " << i;
+  }
+  rt.DrainDevices(0);
+  return recorder->Snapshot();
+}
+
+// ---- Attribution ------------------------------------------------------------
+
+TEST(ProfileTest, AttributionInvariantHoldsOnEveryWorkload) {
+  for (const std::string& name : EvaluatedWorkloads()) {
+    for (ExecMode mode : {ExecMode::kNdpSingleDevice,
+                          ExecMode::kNdpMultiSwSync,
+                          ExecMode::kNdpMultiDelayed}) {
+      TraceRecorder recorder;
+      const auto events = TraceWorkload(name, mode, &recorder, /*ops=*/60);
+      const Profile profile = BuildProfile(events);
+      EXPECT_GT(profile.slices.size(), 0u) << name;
+      EXPECT_EQ(profile.attribution_violations, 0u)
+          << name << " mode " << ExecModeName(mode);
+      EXPECT_EQ(profile.incomplete_slices, 0u) << name;
+      for (const RequestSlice& slice : profile.slices) {
+        ASSERT_EQ(slice.PhaseSum(), slice.span_ns())
+            << name << " seq " << slice.seq;
+      }
+    }
+  }
+}
+
+TEST(ProfileTest, PhaseTotalsTileTheTotalSpan) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const Profile profile = BuildProfile(events);
+  SimTime sum = 0;
+  for (int i = 0; i < kNumAttrPhases; ++i) {
+    sum += profile.phase_total_ns[i];
+  }
+  EXPECT_EQ(sum, profile.total_span_ns);
+  EXPECT_GT(profile.total_span_ns, 0u);
+  // The model always charges a command post and unit execution.
+  EXPECT_GT(profile.phase_total_ns[static_cast<int>(AttrPhase::kCmdPost)],
+            0u);
+  EXPECT_GT(profile.phase_total_ns[static_cast<int>(AttrPhase::kUnitExec)],
+            0u);
+}
+
+TEST(ProfileTest, SlowestSlicesAreSortedBySpan) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  ProfileOptions options;
+  options.top_slowest = 10;
+  const Profile profile = BuildProfile(events, options);
+  ASSERT_LE(profile.slowest.size(), 10u);
+  ASSERT_GT(profile.slowest.size(), 0u);
+  for (std::size_t i = 1; i < profile.slowest.size(); ++i) {
+    EXPECT_GE(profile.slices[profile.slowest[i - 1]].span_ns(),
+              profile.slices[profile.slowest[i]].span_ns());
+  }
+  // Nothing unranked outranks the ranked tail.
+  const SimTime min_ranked = profile.slices[profile.slowest.back()].span_ns();
+  std::uint64_t faster_than_tail = 0;
+  for (const RequestSlice& slice : profile.slices) {
+    faster_than_tail += slice.span_ns() > min_ranked;
+  }
+  EXPECT_LT(faster_than_tail, profile.slowest.size());
+}
+
+TEST(ProfileTest, DetectsIncompleteSlices) {
+  TraceRecorder recorder;
+  auto events = TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  // Drop every kCmdPost: all request lifecycles lose their head.
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const TraceEvent& e) {
+                                return e.phase == TracePhase::kCmdPost;
+                              }),
+               events.end());
+  const Profile profile = BuildProfile(events);
+  EXPECT_EQ(profile.slices.size(), 0u);
+  EXPECT_GT(profile.incomplete_slices, 0u);
+  EXPECT_EQ(profile.attribution_violations, 0u);
+}
+
+// ---- Utilization and occupancy ----------------------------------------------
+
+TEST(ProfileTest, DutyCyclesStayWithinTheObservationWindow) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const Profile profile = BuildProfile(events);
+  ASSERT_FALSE(profile.resources.empty());
+  bool saw_unit = false;
+  for (const ResourceUsage& usage : profile.resources) {
+    EXPECT_GT(usage.window_ns, 0u) << usage.name;
+    EXPECT_LE(usage.busy_ns, usage.window_ns) << usage.name;
+    EXPECT_GE(usage.duty(), 0.0) << usage.name;
+    EXPECT_LE(usage.duty(), 1.0) << usage.name;
+    EXPECT_GT(usage.spans, 0u) << usage.name;
+    if (usage.pid >= kTraceDevicePidBase &&
+        usage.tid >= kTraceUnitTidBase && usage.tid != kTraceMaintenanceTid) {
+      saw_unit = true;
+    }
+  }
+  EXPECT_TRUE(saw_unit);
+}
+
+TEST(ProfileTest, OccupancySeriesCoverFifoAndInflightTable) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const Profile profile = BuildProfile(events);
+  std::set<TracePhase> series;
+  for (const OccupancySeries& occ : profile.occupancy) {
+    series.insert(occ.phase);
+    EXPECT_GT(occ.samples, 0u) << occ.name;
+    EXPECT_GE(static_cast<double>(occ.max), occ.mean) << occ.name;
+    EXPECT_GT(occ.mean, 0.0) << occ.name;
+    if (occ.phase == TracePhase::kFifoDepth) {
+      // The Request FIFO holds at most its capacity (32 entries).
+      EXPECT_LE(occ.max, 32u) << occ.name;
+    }
+  }
+  EXPECT_TRUE(series.count(TracePhase::kFifoDepth));
+  EXPECT_TRUE(series.count(TracePhase::kInflightDepth));
+}
+
+// ---- Raw trace round trip ---------------------------------------------------
+
+TEST(RawTraceTest, RoundTripsLosslessly) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder,
+                    /*ops=*/30);
+  std::ostringstream os;
+  WriteRawTrace(events, os);
+
+  std::istringstream is(os.str());
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(ReadRawTrace(is, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].phase, events[i].phase);
+    EXPECT_EQ(parsed[i].pid, events[i].pid);
+    EXPECT_EQ(parsed[i].tid, events[i].tid);
+    EXPECT_EQ(parsed[i].ts, events[i].ts);
+    EXPECT_EQ(parsed[i].dur, events[i].dur);
+    EXPECT_EQ(parsed[i].seq, events[i].seq);
+    EXPECT_EQ(parsed[i].range, events[i].range);
+    EXPECT_EQ(parsed[i].range2, events[i].range2);
+    EXPECT_EQ(parsed[i].arg0, events[i].arg0);
+    EXPECT_EQ(parsed[i].arg1, events[i].arg1);
+    EXPECT_EQ(parsed[i].epoch, events[i].epoch);
+    EXPECT_EQ(parsed[i].order, events[i].order);
+  }
+}
+
+TEST(RawTraceTest, RejectsMalformedInput) {
+  std::istringstream is("{\"phase\":\"nonsense\",\"pid\":1}\n");
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  EXPECT_FALSE(ReadRawTrace(is, &parsed, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+// ---- Renderers --------------------------------------------------------------
+
+TEST(ReportTest, OutputsAreDeterministic) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const Profile a = BuildProfile(events);
+  const Profile b = BuildProfile(events);
+  EXPECT_EQ(RenderReport(a), RenderReport(b));
+  EXPECT_EQ(RenderFolded(a), RenderFolded(b));
+  EXPECT_EQ(RenderProfileJson(a, "{}"), RenderProfileJson(b, "{}"));
+}
+
+TEST(ReportTest, ReportNamesEveryAttributionPhase) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const std::string report = RenderReport(BuildProfile(events));
+  for (int i = 0; i < kNumAttrPhases; ++i) {
+    EXPECT_NE(report.find(AttrPhaseName(static_cast<AttrPhase>(i))),
+              std::string::npos)
+        << AttrPhaseName(static_cast<AttrPhase>(i));
+  }
+  EXPECT_NE(report.find("attribution violations: 0"), std::string::npos);
+}
+
+TEST(ReportTest, FoldedStacksParse) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const std::string folded = RenderFolded(BuildProfile(events));
+  ASSERT_FALSE(folded.empty());
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    // flamegraph format: "frame;frame;... <count>".
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NE(line.find(';'), std::string::npos) << line;
+    const std::string count = line.substr(space + 1);
+    ASSERT_FALSE(count.empty()) << line;
+    for (char c : count) {
+      EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c))) << line;
+    }
+  }
+  EXPECT_NE(folded.find("request;device 0;unit_exec"), std::string::npos);
+}
+
+TEST(ReportTest, ProfileJsonCarriesSchemaAndInvariantFields) {
+  TraceRecorder recorder;
+  const auto events =
+      TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const std::string json =
+      RenderProfileJson(BuildProfile(events), "{\"test\": 1}");
+  EXPECT_NE(json.find("\"schema\": \"nearpm-profile-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"attribution_violations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"config\": {\"test\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("\"phase_share\""), std::string::npos);
+  EXPECT_NE(json.find("\"resources\""), std::string::npos);
+  EXPECT_NE(json.find("\"occupancy\""), std::string::npos);
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+// Minimal Prometheus text-format checker: every non-comment line must be
+// `name[{labels}] value`, every series must be preceded by a # TYPE header
+// for its base name, and a base name must have exactly one type.
+void ValidatePrometheus(const std::string& text,
+                        std::map<std::string, std::string>* types,
+                        std::map<std::string, double>* values) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream header(line.substr(7));
+      std::string base, type;
+      header >> base >> type;
+      ASSERT_FALSE(base.empty());
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+          << line;
+      ASSERT_EQ(types->count(base), 0u) << "duplicate type for " << base;
+      (*types)[base] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << line;
+    // The base (up to '{') must have a declared type. _sum/_count series of
+    // a summary attach to the summary's base.
+    std::string base = series.substr(0, series.find('{'));
+    if (types->count(base) == 0) {
+      for (const char* suffix : {"_sum", "_count"}) {
+        const std::string s = suffix;
+        if (base.size() > s.size() &&
+            base.compare(base.size() - s.size(), s.size(), s) == 0) {
+          const std::string trimmed = base.substr(0, base.size() - s.size());
+          if (types->count(trimmed) != 0) {
+            base = trimmed;
+            break;
+          }
+        }
+      }
+    }
+    ASSERT_EQ(types->count(base), 1u) << "no TYPE header for " << line;
+    (*values)[series] = v;
+  }
+}
+
+TEST(PrometheusTest, ExposesCountersGaugesAndQuantiles) {
+  TraceRecorder recorder;
+  (void)TraceWorkload("btree", ExecMode::kNdpMultiDelayed, &recorder);
+  const std::string text = recorder.metrics().ToPrometheus();
+
+  std::map<std::string, std::string> types;
+  std::map<std::string, double> values;
+  ValidatePrometheus(text, &types, &values);
+
+  EXPECT_EQ(types["nearpm_cmd_post"], "counter");
+  EXPECT_EQ(types["nearpm_fifo_depth"], "gauge");
+  EXPECT_EQ(types["nearpm_inflight_depth"], "gauge");
+  EXPECT_EQ(types["nearpm_cmd_post_latency_ns"], "summary");
+  EXPECT_GT(values["nearpm_cmd_post"], 0.0);
+  EXPECT_GT(values["nearpm_cmd_post_latency_ns{quantile=\"0.5\"}"], 0.0);
+  EXPECT_GT(values["nearpm_cmd_post_latency_ns_count"], 0.0);
+  EXPECT_GT(values["nearpm_cmd_post_latency_ns_sum"], 0.0);
+}
+
+TEST(PrometheusTest, GaugePrimitiveRoundTrips) {
+  MetricsRegistry registry;
+  registry.SetGauge("depth", 3.0);
+  EXPECT_DOUBLE_EQ(registry.GaugeRef("depth").value(), 3.0);
+  registry.SetGauge("depth", 1.5);
+  EXPECT_DOUBLE_EQ(registry.GaugeRef("depth").value(), 1.5);
+  registry.SetGauge("ratio{kind=\"a\"}", 0.25);
+  const std::string text = registry.ToPrometheus("x");
+  EXPECT_NE(text.find("# TYPE x_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("x_depth 1.5"), std::string::npos);
+  EXPECT_NE(text.find("x_ratio{kind=\"a\"} 0.25"), std::string::npos);
+}
+
+// ---- Serve integration ------------------------------------------------------
+
+TEST(ServeProfilingTest, ExportsPerShardPerUnitDutyGauges) {
+  serve::ServeOptions so;
+  so.shards = 2;
+  so.workers_per_shard = 2;
+  so.queue_capacity = 64;
+  auto svc = serve::KvService::Create(so);
+  ASSERT_TRUE(svc.ok());
+
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    serve::ServeRequest req;
+    req.kind = serve::RequestKind::kPut;
+    req.key = i;
+    req.value = std::vector<std::uint8_t>(8, 3);
+    if (!(*svc)->Submit(std::move(req)).ok()) {
+      (*svc)->Pump();
+      --i;
+    }
+  }
+  (*svc)->Pump();
+  (*svc)->ExportResourceMetrics();
+
+  const std::string text = (*svc)->metrics().ToPrometheus();
+  std::map<std::string, std::string> types;
+  std::map<std::string, double> values;
+  ValidatePrometheus(text, &types, &values);
+  EXPECT_EQ(types["nearpm_serve_duty"], "gauge");
+
+  // Every shard exposes a duty cycle for every NearPM unit, bounded by 1.
+  for (int shard = 0; shard < so.shards; ++shard) {
+    bool saw_unit = false;
+    for (const auto& [series, value] : values) {
+      const std::string want = "nearpm_serve_duty{shard=\"" +
+                               std::to_string(shard) + "\",resource=\"";
+      if (series.rfind(want, 0) == 0) {
+        EXPECT_GE(value, 0.0) << series;
+        EXPECT_LE(value, 1.0) << series;
+        if (series.find("/ unit ") != std::string::npos) {
+          saw_unit = true;
+        }
+      }
+    }
+    EXPECT_TRUE(saw_unit) << "shard " << shard;
+  }
+  // Queue occupancy rides along as serve_occupancy_* gauges.
+  bool saw_queue_series = false;
+  for (const auto& [series, value] : values) {
+    (void)value;
+    if (series.rfind("nearpm_serve_occupancy_mean{", 0) == 0 &&
+        series.find("serve_queue_depth") != std::string::npos) {
+      saw_queue_series = true;
+    }
+  }
+  EXPECT_TRUE(saw_queue_series);
+}
+
+}  // namespace
+}  // namespace nearpm

@@ -457,6 +457,7 @@ TEST(ChromeExporterTest, EmitsSchemaValidTraceForARealRun) {
   std::size_t spans = 0;
   std::size_t instants = 0;
   std::size_t metadata = 0;
+  std::size_t counters = 0;
   for (const Json& e : events->arr) {
     ASSERT_TRUE(e.is(Json::Type::kObject));
     const Json* name = e.Find("name");
@@ -470,8 +471,21 @@ TEST(ChromeExporterTest, EmitsSchemaValidTraceForARealRun) {
     ASSERT_TRUE(name->is(Json::Type::kString));
     ASSERT_TRUE(pid->is(Json::Type::kNumber));
     ASSERT_TRUE(tid->is(Json::Type::kNumber));
-    ASSERT_TRUE(ph->str == "X" || ph->str == "i" || ph->str == "M")
+    ASSERT_TRUE(ph->str == "X" || ph->str == "i" || ph->str == "M" ||
+                ph->str == "C")
         << "unexpected phase " << ph->str;
+    if (ph->str == "C") {
+      // Counter-track samples: occupancy series Perfetto renders as graphs.
+      ++counters;
+      names.insert(name->str);
+      const Json* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      const Json* value = args->Find("value");
+      ASSERT_NE(value, nullptr);
+      ASSERT_TRUE(value->is(Json::Type::kNumber));
+      EXPECT_GE(value->number, 0.0);
+      continue;
+    }
     if (ph->str == "M") {
       ++metadata;
       EXPECT_TRUE(name->str == "process_name" || name->str == "thread_name");
@@ -501,9 +515,12 @@ TEST(ChromeExporterTest, EmitsSchemaValidTraceForARealRun) {
   EXPECT_GT(spans, 0u);
   EXPECT_GT(instants, 0u);
   EXPECT_GT(metadata, 0u);
-  // The run above must have produced the core lifecycle vocabulary.
+  EXPECT_GT(counters, 0u);
+  // The run above must have produced the core lifecycle vocabulary,
+  // including the occupancy counter tracks.
   for (const char* expected : {"cmd_post", "dev_pipeline", "unit_exec",
-                               "cpu_persist", "cpu_read", "crash"}) {
+                               "cpu_persist", "cpu_read", "crash",
+                               "fifo_depth", "inflight_depth"}) {
     EXPECT_NE(names.find(expected), names.end()) << "missing " << expected;
   }
 }

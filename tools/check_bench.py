@@ -86,8 +86,9 @@ def main():
                   f"current={new:g} drift={drift:.1%}")
             if drift > args.tolerance:
                 failures.append(
-                    f"{name}: {key} drifted {drift:.1%} "
-                    f"({old:g} -> {new:g}, tolerance {args.tolerance:.0%})")
+                    f"{name}: counter '{key}' drifted {drift:.1%} "
+                    f"(baseline={old:g} actual={new:g}, "
+                    f"tolerance {args.tolerance:.0%})")
 
     print(f"{checked} counters checked against {args.baseline}, "
           f"{len(failures)} failures")

@@ -15,6 +15,8 @@
 //   --batch=N           requests per doorbell/fence (default 8)
 //   --queue=N           per-shard queue capacity (default 64)
 //   --json-out=FILE     machine-readable stats (single JSON object)
+//   --metrics-out=FILE  Prometheus text exposition: serve counters, latency
+//                       quantiles, per-shard duty-cycle/occupancy gauges
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +42,7 @@ struct CliOptions {
   int batch = 8;
   std::size_t queue = 64;
   std::string json_out;
+  std::string metrics_out;
 };
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -65,7 +68,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards=N] [--workers=N] [--requests=N]\n"
                "          [--multiput-every=N] [--batch=N] [--queue=N]\n"
-               "          [--json-out=FILE]\n",
+               "          [--json-out=FILE] [--metrics-out=FILE]\n",
                argv0);
   return 2;
 }
@@ -101,6 +104,8 @@ int ServeMain(int argc, char** argv) {
       cli.queue = static_cast<std::size_t>(n);
     } else if (MatchFlag(argv[i], "--json-out", &value)) {
       cli.json_out = value;
+    } else if (MatchFlag(argv[i], "--metrics-out", &value)) {
+      cli.metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return Usage(argv[0]);
@@ -199,6 +204,23 @@ int ServeMain(int argc, char** argv) {
         << "}\n";
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", cli.json_out.c_str());
+      return 1;
+    }
+  }
+
+  if (!cli.metrics_out.empty()) {
+    // Fold every shard's trace into per-resource gauges, then merge the
+    // shard recorders' phase counters/histograms into one exposition.
+    (*svc)->ExportResourceMetrics();
+    MetricsRegistry merged;
+    merged.MergeFrom((*svc)->metrics());
+    for (int s = 0; s < (*svc)->num_shards(); ++s) {
+      merged.MergeFrom((*svc)->shard(s).recorder().metrics());
+    }
+    std::ofstream out(cli.metrics_out, std::ios::trunc);
+    out << merged.ToPrometheus();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
       return 1;
     }
   }

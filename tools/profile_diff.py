@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare two nearpm-profile-v1 JSONs and flag attribution shifts.
+
+The profiler's output is deterministic, so CI keeps a committed baseline
+profile and diffs every build against it. A shift in where request time goes
+(say, conflict_stall growing from 2% to 9% of the critical path) is a real
+behavioral change even when total throughput moved less than the bench
+gate's tolerance.
+
+Checked, in order:
+  * both files carry schema "nearpm-profile-v1"
+  * the current profile has zero attribution-invariant violations
+  * per-phase attribution shares: |current - baseline| <= --share-threshold
+    (absolute share points, default 0.02)
+  * scalar totals (total span, slice count, event count): relative drift
+    <= --tolerance (default 0.25)
+  * per-resource duty cycles: |current - baseline| <= --share-threshold
+
+Usage:
+    profile_diff.py --baseline bench/baselines/fig16_profile.json \
+                    --current fig16_profile.json
+
+Exit code 0 when everything is within bounds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "nearpm-profile-v1"
+
+
+def load_profile(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {data.get('schema')!r} is not {SCHEMA!r}")
+    return data
+
+
+def relative_drift(old, new):
+    if old == new:
+        return 0.0
+    return abs(new - old) / (abs(old) if old != 0 else 1.0)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline profile JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced profile JSON")
+    parser.add_argument("--share-threshold", type=float, default=0.02,
+                        help="maximum absolute shift per attribution share "
+                             "or duty cycle (default 0.02)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum relative drift per scalar total "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_profile(args.baseline)
+    current = load_profile(args.current)
+
+    failures = []
+    checked = 0
+
+    violations = current["requests"]["attribution_violations"]
+    if violations:
+        failures.append(
+            f"current profile has {violations} attribution-invariant "
+            f"violation(s); phase sums must equal end-to-end spans exactly")
+
+    base_share = baseline["requests"]["phase_share"]
+    cur_share = current["requests"]["phase_share"]
+    for phase in sorted(set(base_share) | set(cur_share)):
+        old = base_share.get(phase, 0.0)
+        new = cur_share.get(phase, 0.0)
+        shift = abs(new - old)
+        checked += 1
+        marker = "FAIL" if shift > args.share_threshold else "ok"
+        print(f"{marker:4} phase {phase}: baseline={old:.6f} "
+              f"current={new:.6f} shift={shift:.6f}")
+        if shift > args.share_threshold:
+            failures.append(
+                f"attribution share of '{phase}' shifted by {shift:.4f} "
+                f"(baseline={old:.6f} actual={new:.6f}, "
+                f"threshold {args.share_threshold})")
+
+    for key in ("total_span_ns", "slices", "incomplete"):
+        old = baseline["requests"][key]
+        new = current["requests"][key]
+        drift = relative_drift(old, new)
+        checked += 1
+        marker = "FAIL" if drift > args.tolerance else "ok"
+        print(f"{marker:4} requests.{key}: baseline={old:g} "
+              f"current={new:g} drift={drift:.1%}")
+        if drift > args.tolerance:
+            failures.append(
+                f"requests.{key} drifted {drift:.1%} "
+                f"(baseline={old:g} actual={new:g}, "
+                f"tolerance {args.tolerance:.0%})")
+
+    base_duty = {r["name"]: r["duty"] for r in baseline["resources"]}
+    cur_duty = {r["name"]: r["duty"] for r in current["resources"]}
+    for name in sorted(set(base_duty) | set(cur_duty)):
+        if name not in cur_duty:
+            failures.append(f"resource '{name}' disappeared from current")
+            continue
+        if name not in base_duty:
+            # New resources appear when instrumentation grows; report, don't
+            # fail -- the baseline refresh will pick them up.
+            print(f"note resource {name}: new (duty={cur_duty[name]:.6f})")
+            continue
+        shift = abs(cur_duty[name] - base_duty[name])
+        checked += 1
+        marker = "FAIL" if shift > args.share_threshold else "ok"
+        print(f"{marker:4} duty {name}: baseline={base_duty[name]:.6f} "
+              f"current={cur_duty[name]:.6f} shift={shift:.6f}")
+        if shift > args.share_threshold:
+            failures.append(
+                f"duty cycle of '{name}' shifted by {shift:.4f} "
+                f"(baseline={base_duty[name]:.6f} "
+                f"actual={cur_duty[name]:.6f}, "
+                f"threshold {args.share_threshold})")
+
+    print(f"{checked} profile figures checked against {args.baseline}, "
+          f"{len(failures)} failures")
+    if failures:
+        print("\nprofile regression gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf the change is intentional, regenerate the baseline with "
+              "tools/nearpm_prof and commit it.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

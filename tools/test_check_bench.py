@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Tests for the regression gates themselves (check_bench, profile_diff).
+
+A gate that silently passes bad data is worse than no gate, so these tests
+drive both scripts as subprocesses: a drifted counter must produce a nonzero
+exit and a failure message naming the counter, its baseline and actual
+values, and the percent drift; matching inputs must pass.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def bench_json(throughput):
+    return {
+        "benchmarks": [
+            {
+                "name": "fig16/btree",
+                "iterations": 1,
+                "real_time": 1.0,
+                "cpu_time": 1.0,
+                "throughput_mops": throughput,
+            }
+        ]
+    }
+
+
+def profile_json(stall_share, exec_share, violations=0):
+    shares = {
+        "cmd_post": 0.10,
+        "fifo_backpressure": 0.0,
+        "dev_pipeline": 0.50,
+        "sync_wait": 0.0,
+        "conflict_stall": stall_share,
+        "unit_wait": 0.0,
+        "unit_exec": exec_share,
+    }
+    return {
+        "schema": "nearpm-profile-v1",
+        "config": {},
+        "events": 1000,
+        "epochs": 1,
+        "requests": {
+            "slices": 100,
+            "incomplete": 0,
+            "attribution_violations": violations,
+            "total_span_ns": 50000,
+            "phases_ns": {k: int(v * 50000) for k, v in shares.items()},
+            "phase_share": shares,
+        },
+        "slowest": [],
+        "resources": [
+            {"name": "NearPM device 0 / unit 0", "pid": 16, "tid": 1,
+             "spans": 100, "busy_ns": 5000, "window_ns": 50000,
+             "duty": 0.10}
+        ],
+        "occupancy": [],
+        "span_totals_ns": {},
+    }
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return path
+
+    def run_tool(self, script, *argv):
+        return subprocess.run(
+            [sys.executable, os.path.join(TOOLS_DIR, script), *argv],
+            capture_output=True, text=True)
+
+    # ---- check_bench ---------------------------------------------------------
+
+    def test_check_bench_passes_matching_results(self):
+        baseline = self.write("base.json", bench_json(4.0))
+        current = self.write("cur.json", bench_json(4.2))
+        result = self.run_tool("check_bench.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_check_bench_reports_offending_counter_on_drift(self):
+        baseline = self.write("base.json", bench_json(4.0))
+        current = self.write("cur.json", bench_json(8.0))  # 100% drift
+        result = self.run_tool("check_bench.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertNotEqual(result.returncode, 0)
+        # The failure must name the counter, both values and the drift.
+        self.assertIn("counter 'throughput_mops'", result.stderr)
+        self.assertIn("baseline=4", result.stderr)
+        self.assertIn("actual=8", result.stderr)
+        self.assertIn("100.0%", result.stderr)
+
+    # ---- profile_diff --------------------------------------------------------
+
+    def test_profile_diff_passes_identical_profiles(self):
+        baseline = self.write("base.json", profile_json(0.10, 0.30))
+        current = self.write("cur.json", profile_json(0.10, 0.30))
+        result = self.run_tool("profile_diff.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_profile_diff_flags_attribution_shift(self):
+        baseline = self.write("base.json", profile_json(0.10, 0.30))
+        current = self.write("cur.json", profile_json(0.25, 0.15))
+        result = self.run_tool("profile_diff.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("conflict_stall", result.stderr)
+        self.assertIn("shifted by", result.stderr)
+
+    def test_profile_diff_rejects_attribution_violations(self):
+        baseline = self.write("base.json", profile_json(0.10, 0.30))
+        current = self.write("cur.json",
+                             profile_json(0.10, 0.30, violations=3))
+        result = self.run_tool("profile_diff.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("attribution-invariant", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
