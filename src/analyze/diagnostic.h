@@ -1,0 +1,106 @@
+// Diagnostic records and the multi-format DiagnosticSink of the PM-Sanitizer.
+//
+// Layering: depends only on src/common and src/sim so that pmem/ndp/core can
+// report findings without new dependencies.
+#ifndef NEARPM_ANALYZE_DIAGNOSTIC_H_
+#define NEARPM_ANALYZE_DIAGNOSTIC_H_
+
+#include <array>
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analyze/rules.h"
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+namespace nearpm {
+namespace analyze {
+
+// Captured program point of a finding. For live (in-process) analysis this is
+// a std::source_location of the issuing call site; for offline trace analysis
+// the file is "<trace>" and the line is the event's global record order.
+struct SourceLoc {
+  const char* file = "<unknown>";
+  std::uint32_t line = 0;
+  const char* function = "";
+};
+
+// Converts a std::source_location into the sanitizer's light-weight form.
+// The pointers stay valid for the program's lifetime (they point into the
+// binary's string table).
+inline SourceLoc FromStd(const std::source_location& loc) {
+  return SourceLoc{loc.file_name(), loc.line(), loc.function_name()};
+}
+
+// Strips everything before the repo-relative component of a __FILE__ path so
+// diagnostics and SARIF output are stable across build directories.
+std::string_view TrimSourcePath(std::string_view path);
+
+// One reported finding. Identical findings (same rule + call site) are folded
+// into a single Diagnostic whose `count` tracks occurrences.
+struct Diagnostic {
+  RuleId rule = RuleId::kNpm001;
+  std::string message;   // first occurrence's message
+  SourceLoc loc;
+  ThreadId tid = 0;
+  SimTime when = 0;      // sim time of the first occurrence
+  AddrRange range{};     // first offending range (may be empty)
+  std::uint64_t count = 1;
+  bool suppressed = false;
+};
+
+// Collects diagnostics, applies suppressions, and renders text / JSON / SARIF.
+// Not thread-safe; attach one sink per single-threaded simulation driver.
+class DiagnosticSink {
+ public:
+  // Adds a suppression. Spec forms:
+  //   "NPM005"            suppress the rule everywhere
+  //   "NPM005:heap.cc"    suppress where the trimmed file path contains the
+  //                       substring after the colon
+  // Returns false (and ignores the spec) if the rule id does not parse.
+  bool Suppress(std::string_view spec);
+
+  // Records a finding. Returns true if it counted as unsuppressed.
+  bool Report(RuleId rule, const SourceLoc& loc, ThreadId tid, SimTime when,
+              AddrRange range, std::string message);
+
+  // Folded findings in first-report order.
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // Occurrence counts (not folded) per rule.
+  std::uint64_t count(RuleId rule) const;
+  std::uint64_t suppressed_count(RuleId rule) const;
+  std::uint64_t total_unsuppressed() const;
+  std::uint64_t total_suppressed() const;
+
+  // Human-readable report, one line per folded finding plus a summary.
+  std::string RenderText() const;
+  // {"diagnostics":[...], "counts":{...}} machine-readable report.
+  std::string RenderJson() const;
+  // SARIF 2.1.0 document with one run, full rule metadata, and suppressed
+  // findings carried with a "suppressed in source" marker.
+  std::string RenderSarif() const;
+
+ private:
+  struct Suppression {
+    RuleId rule;
+    std::string file_substr;  // empty = whole rule
+  };
+
+  bool IsSuppressed(RuleId rule, const SourceLoc& loc) const;
+
+  std::vector<Diagnostic> diags_;
+  std::unordered_map<std::string, std::size_t> index_;  // rule|file|line
+  std::vector<Suppression> suppressions_;
+  std::array<std::uint64_t, kNumRules> counts_{};
+  std::array<std::uint64_t, kNumRules> suppressed_counts_{};
+};
+
+}  // namespace analyze
+}  // namespace nearpm
+
+#endif  // NEARPM_ANALYZE_DIAGNOSTIC_H_

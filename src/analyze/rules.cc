@@ -1,0 +1,73 @@
+#include "src/analyze/rules.h"
+
+#include <array>
+#include <cassert>
+#include <cctype>
+
+namespace nearpm {
+namespace analyze {
+namespace {
+
+constexpr std::array<RuleInfo, kNumRules> kRules = {{
+    {"NPM001", "durable-read-of-unpersisted-data",
+     "A recovery-path (durable-scope) read observed data that was written "
+     "before the scope began but never persisted; after a crash the read "
+     "would return stale bytes.",
+     "error"},
+    {"NPM002", "doorbell-before-operand-persist",
+     "An NDP command was posted while cache lines inside its operand ranges "
+     "were still dirty or un-fenced on the CPU; the device may read or "
+     "log pre-writeback bytes.",
+     "error"},
+    {"NPM003", "ppo-order-violation",
+     "A CPU access to persistent memory overlaps the write range of an "
+     "in-flight, un-synchronized NDP request; persist order between host "
+     "and device is undefined (PPO Invariant 1/2).",
+     "error"},
+    {"NPM004", "missing-cross-device-sync",
+     "A commit-class command was issued while another device still had "
+     "un-synchronized in-flight requests from the same logical operation; "
+     "a crash can persist the commit before its log slices (PPO "
+     "Invariant 3/4).",
+     "error"},
+    {"NPM005", "redundant-persist",
+     "A clwb/fence sequence covered no dirty cache lines; the flush is "
+     "pure overhead (performance lint).",
+     "warning"},
+    {"NPM006", "unflushed-lines-at-durability-point",
+     "Cache lines written before a durability point (operation commit, "
+     "epoch close, or end of run) were never flushed; their contents are "
+     "not crash-consistent.",
+     "error"},
+}};
+
+}  // namespace
+
+const RuleInfo& RuleOf(RuleId rule) {
+  assert(rule < RuleId::kCount);
+  return kRules[static_cast<std::size_t>(rule)];
+}
+
+const char* RuleIdString(RuleId rule) { return RuleOf(rule).id; }
+
+bool RuleFromString(std::string_view text, RuleId* out) {
+  for (int i = 0; i < kNumRules; ++i) {
+    const std::string_view id = kRules[static_cast<std::size_t>(i)].id;
+    if (text.size() != id.size()) continue;
+    bool match = true;
+    for (std::size_t j = 0; j < id.size(); ++j) {
+      if (std::toupper(static_cast<unsigned char>(text[j])) != id[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      *out = static_cast<RuleId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace analyze
+}  // namespace nearpm

@@ -1,0 +1,45 @@
+#ifndef NEARPM_ANALYZE_RULES_H_
+#define NEARPM_ANALYZE_RULES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace nearpm {
+namespace analyze {
+
+// Stable rule identifiers for the PM-Sanitizer.  The numeric values are part
+// of the external contract (SARIF ruleId, suppression specs, CI grep lines):
+// never renumber an existing rule, only append.
+enum class RuleId : std::uint8_t {
+  kNpm001 = 0,  // durable read of unpersisted data
+  kNpm002,      // doorbell rung before operands persisted
+  kNpm003,      // CPU access overlaps an in-flight NDP request (PPO order)
+  kNpm004,      // commit-class command without cross-device sync
+  kNpm005,      // redundant clwb/fence (performance lint)
+  kNpm006,      // unflushed lines at a durability point / end of run
+  kCount,
+};
+
+inline constexpr int kNumRules = static_cast<int>(RuleId::kCount);
+
+struct RuleInfo {
+  const char* id;       // stable external name, e.g. "NPM001"
+  const char* name;     // short kebab-case slug for SARIF rule metadata
+  const char* summary;  // one-line description
+  const char* level;    // SARIF level: "error" | "warning" | "note"
+};
+
+// Metadata for a rule; `rule` must be < RuleId::kCount.
+const RuleInfo& RuleOf(RuleId rule);
+
+// "NPM001" etc.  Never returns nullptr for a valid rule.
+const char* RuleIdString(RuleId rule);
+
+// Parses "NPM003" (case-insensitive) into a RuleId.  Returns false on
+// unknown ids.
+bool RuleFromString(std::string_view text, RuleId* out);
+
+}  // namespace analyze
+}  // namespace nearpm
+
+#endif  // NEARPM_ANALYZE_RULES_H_

@@ -1,0 +1,256 @@
+#include "src/analyze/sanitizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace nearpm {
+namespace analyze {
+namespace {
+
+PmAddr FirstLine(AddrRange range) {
+  return AlignDown(range.begin, kCacheLineSize);
+}
+
+std::string DescribeRange(AddrRange range) {
+  std::ostringstream out;
+  out << "[0x" << std::hex << range.begin << ", 0x" << range.end << ")";
+  return out.str();
+}
+
+}  // namespace
+
+void PmSanitizer::SetInOp(ThreadId t, bool v) {
+  if (t >= in_op_.size()) in_op_.resize(t + 1, false);
+  in_op_[t] = v;
+}
+
+std::uint64_t PmSanitizer::UnpersistedLinesIn(AddrRange range) const {
+  if (range.empty()) return 0;
+  std::uint64_t n = 0;
+  for (PmAddr a = FirstLine(range); a < range.end; a += kCacheLineSize) {
+    n += lines_.count(a);
+  }
+  return n;
+}
+
+std::vector<PmSanitizer::LiveReq>& PmSanitizer::DeviceClock(DeviceId dev) {
+  if (dev >= devices_.size()) devices_.resize(dev + 1);
+  return devices_[dev];
+}
+
+void PmSanitizer::ResetVolatile() {
+  lines_.clear();
+  flushed_.clear();
+  for (auto& clock : devices_) clock.clear();
+  in_op_.assign(in_op_.size(), false);
+  last_marker_ = 0;
+}
+
+void PmSanitizer::OnCpuWrite(ThreadId t, AddrRange range, SimTime now,
+                             const SourceLoc& loc) {
+  ++stats_.writes;
+  if (range.empty()) return;
+  const bool in_op = InOp(t);
+  for (PmAddr a = FirstLine(range); a < range.end; a += kCacheLineSize) {
+    lines_[a] = LineRec{LineState::kDirty, t, ++tick_, now, loc, in_op};
+  }
+  stats_.shadow_lines_peak =
+      std::max<std::uint64_t>(stats_.shadow_lines_peak, lines_.size());
+}
+
+void PmSanitizer::OnCpuRead(ThreadId t, AddrRange range, SimTime now,
+                            const SourceLoc& loc) {
+  ++stats_.reads;
+  if (range.empty()) return;
+  if (durable_scope_ > 0) {
+    for (PmAddr a = FirstLine(range); a < range.end; a += kCacheLineSize) {
+      auto it = lines_.find(a);
+      // scope_begin_tick_ is the last tick consumed before the scope opened,
+      // so "written before the scope" is tick <= scope_begin_tick_.
+      if (it == lines_.end() || it->second.tick > scope_begin_tick_) continue;
+      std::ostringstream msg;
+      msg << "durable-scope read of " << DescribeRange(range)
+          << " observes a line written before the scope at "
+          << TrimSourcePath(it->second.loc.file) << ':' << it->second.loc.line
+          << " but never persisted; a crash would roll it back";
+      sink_.Report(RuleId::kNpm001, loc, t, now, range, msg.str());
+      break;
+    }
+  }
+  for (std::size_t dev = 0; dev < devices_.size(); ++dev) {
+    for (const LiveReq& req : devices_[dev]) {
+      if (req.retired || req.completion <= now) continue;
+      if (!req.write_range.Overlaps(range)) continue;
+      std::ostringstream msg;
+      msg << "CPU read of " << DescribeRange(range)
+          << " overlaps in-flight NDP request seq=" << req.seq << " on device "
+          << dev << " (completes at " << req.completion << " ns, now " << now
+          << " ns) without a barrier; persist order is undefined";
+      sink_.Report(RuleId::kNpm003, loc, t, now, range, msg.str());
+      return;
+    }
+  }
+}
+
+void PmSanitizer::OnFlush(ThreadId t, AddrRange range, SimTime now,
+                          const SourceLoc& loc) {
+  ++stats_.flushes;
+  if (range.empty()) return;
+  std::uint64_t fresh = 0;
+  for (PmAddr a = FirstLine(range); a < range.end; a += kCacheLineSize) {
+    auto it = lines_.find(a);
+    if (it == lines_.end() || it->second.state != LineState::kDirty) continue;
+    it->second.state = LineState::kFlushed;
+    flushed_.push_back(a);
+    ++fresh;
+  }
+  if (fresh == 0) {
+    std::ostringstream msg;
+    msg << "persist of " << DescribeRange(range)
+        << " covers no dirty cache line; the clwb/fence sequence is "
+           "redundant";
+    sink_.Report(RuleId::kNpm005, loc, t, now, range, msg.str());
+  }
+}
+
+void PmSanitizer::OnFence(ThreadId) {
+  ++stats_.fences;
+  for (PmAddr a : flushed_) {
+    auto it = lines_.find(a);
+    if (it != lines_.end() && it->second.state == LineState::kFlushed) {
+      lines_.erase(it);
+    }
+  }
+  flushed_.clear();
+}
+
+void PmSanitizer::OnCoherenceWriteback(ThreadId, AddrRange range) {
+  if (range.empty()) return;
+  for (PmAddr a = FirstLine(range); a < range.end; a += kCacheLineSize) {
+    lines_.erase(a);
+  }
+}
+
+void PmSanitizer::OnNdpCommand(ThreadId t, AddrRange read_range,
+                               AddrRange write_range, SimTime now,
+                               bool commit_class,
+                               std::uint32_t touched_devices,
+                               const SourceLoc& loc) {
+  ++stats_.ndp_commands;
+  const std::uint64_t unpersisted =
+      UnpersistedLinesIn(read_range) + UnpersistedLinesIn(write_range);
+  if (unpersisted > 0) {
+    std::ostringstream msg;
+    msg << "NDP doorbell rung with " << unpersisted
+        << " operand line(s) still un-persisted on the CPU (read "
+        << DescribeRange(read_range) << ", write "
+        << DescribeRange(write_range)
+        << "); the device may observe pre-writeback bytes";
+    sink_.Report(RuleId::kNpm002, loc, t, now,
+                 read_range.empty() ? write_range : read_range, msg.str());
+  }
+  if (!commit_class) return;
+  for (std::size_t dev = 0; dev < devices_.size(); ++dev) {
+    if (dev < 32 && (touched_devices & (1u << dev)) != 0) continue;
+    for (const LiveReq& req : devices_[dev]) {
+      if (req.retired || req.deferred || req.after_sync != last_marker_) {
+        continue;
+      }
+      std::ostringstream msg;
+      msg << "commit-class command issued while device " << dev
+          << " still has un-synchronized in-flight request seq=" << req.seq
+          << "; a crash can persist the commit before its log slices";
+      sink_.Report(RuleId::kNpm004, loc, t, now, write_range, msg.str());
+      break;
+    }
+  }
+}
+
+void PmSanitizer::OnDeviceExecute(DeviceId dev, std::uint64_t seq,
+                                  AddrRange write_range, SimTime completion,
+                                  bool deferred) {
+  std::vector<LiveReq>& clock = DeviceClock(dev);
+  if (clock.size() > 64) {
+    const auto retired = static_cast<std::size_t>(std::count_if(
+        clock.begin(), clock.end(), [](const LiveReq& r) { return r.retired; }));
+    if (retired * 2 > clock.size()) {
+      std::erase_if(clock, [](const LiveReq& r) { return r.retired; });
+    }
+  }
+  clock.push_back(
+      LiveReq{seq, write_range, completion, last_marker_, false, deferred});
+}
+
+void PmSanitizer::OnRetire(DeviceId dev, std::uint64_t seq) {
+  ++stats_.retires;
+  if (dev >= devices_.size()) return;
+  for (LiveReq& req : devices_[dev]) {
+    if (req.seq == seq) req.retired = true;
+  }
+}
+
+void PmSanitizer::OnSyncMarker(std::uint64_t sync_id) {
+  last_marker_ = sync_id;
+}
+
+void PmSanitizer::OnSyncComplete(std::uint64_t sync_id) {
+  for (auto& clock : devices_) {
+    for (LiveReq& req : clock) {
+      if (req.after_sync < sync_id) req.retired = true;
+    }
+  }
+}
+
+void PmSanitizer::OnOpBegin(ThreadId t) { SetInOp(t, true); }
+
+void PmSanitizer::OnOpEnd(ThreadId t, bool durable, SimTime now,
+                          const SourceLoc& loc) {
+  SetInOp(t, false);
+  if (!durable) return;
+  std::uint64_t leaked = 0;
+  const LineRec* first = nullptr;
+  for (const auto& [addr, rec] : lines_) {
+    // Only lines written inside an operation: the mechanism's durable point
+    // promises nothing about stores made outside BeginOp/CommitOp (those are
+    // checked at Finish instead).
+    if (rec.writer != t || !rec.in_op) continue;
+    ++leaked;
+    if (first == nullptr || rec.tick < first->tick) first = &rec;
+  }
+  if (leaked == 0) return;
+  std::ostringstream msg;
+  msg << leaked << " cache line(s) written by thread " << t
+      << " remain un-persisted at a durability point; first written at "
+      << TrimSourcePath(first->loc.file) << ':' << first->loc.line;
+  sink_.Report(RuleId::kNpm006, first->loc, t, now, AddrRange{}, msg.str());
+  (void)loc;
+}
+
+void PmSanitizer::BeginDurableScope() {
+  if (durable_scope_++ == 0) scope_begin_tick_ = tick_;
+}
+
+void PmSanitizer::EndDurableScope() {
+  assert(durable_scope_ > 0);
+  --durable_scope_;
+}
+
+void PmSanitizer::OnCrash() { ResetVolatile(); }
+
+void PmSanitizer::OnQuiesce() { ResetVolatile(); }
+
+void PmSanitizer::Finish(SimTime now) {
+  for (const auto& [addr, rec] : lines_) {
+    if (rec.in_op) continue;  // open op at exit: no durability was promised
+    std::ostringstream msg;
+    msg << "line 0x" << std::hex << addr << std::dec
+        << " written outside any failure-atomic operation was never "
+           "persisted before the end of the run";
+    sink_.Report(RuleId::kNpm006, rec.loc, rec.writer, now,
+                 AddrRange{addr, addr + kCacheLineSize}, msg.str());
+  }
+}
+
+}  // namespace analyze
+}  // namespace nearpm

@@ -1,0 +1,166 @@
+// PmSanitizer: eager, call-site-precise persistency-bug detection.
+//
+// The sanitizer mirrors the persistency state of every touched cache line in
+// a shadow map (dirty-in-store-buffer -> flushed-unfenced -> persisted) and
+// keeps a per-device clock of in-flight NDP requests tagged with the last
+// cross-device sync marker they were issued after. The runtime, PmSpace and
+// NearPmDevice call the On* hooks through the zero-cost NEARPM_SAN_HOOK
+// macro; each hook checks its rule *at the issuing call site* and reports
+// into a DiagnosticSink, so a violation names the program point that created
+// the hazard rather than the crash that exposed it (contrast: the
+// trace-replay PpoChecker, which validates a recorded run after the fact).
+//
+// The sanitizer is single-threaded by design: attach it only to
+// deterministic drivers (workloads, fuzzers, the nearpm_analyze CLI), never
+// to the threaded serve Start/Stop path. It also requires
+// retain_crash_state=true so that retire/sync bookkeeping reaches PmSpace.
+//
+// Layering: depends only on src/common, src/sim and the DiagnosticSink, so
+// pmem and ndp can hook it without cycles.
+#ifndef NEARPM_ANALYZE_SANITIZER_H_
+#define NEARPM_ANALYZE_SANITIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/analyze/rules.h"
+#include "src/common/types.h"
+#include "src/sim/cost_model.h"
+
+// Invokes `call` on sanitizer pointer `san` iff a sanitizer is attached.
+// Mirrors NEARPM_TRACE_EVENT: compiles to a null check on the hot path.
+#define NEARPM_SAN_HOOK(san, call)                         \
+  do {                                                     \
+    ::nearpm::analyze::PmSanitizer* nearpm_san_ = (san);   \
+    if (nearpm_san_ != nullptr) {                          \
+      nearpm_san_->call; /* NOLINT(bugprone-macro-parentheses) */ \
+    }                                                      \
+  } while (0)
+
+namespace nearpm {
+namespace analyze {
+
+class PmSanitizer {
+ public:
+  // Hook-invocation counters: deterministic across runs of the same
+  // workload, which makes them suitable as bench-gate counters.
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t ndp_commands = 0;
+    std::uint64_t retires = 0;
+    std::uint64_t shadow_lines_peak = 0;
+  };
+
+  DiagnosticSink& sink() { return sink_; }
+  const DiagnosticSink& sink() const { return sink_; }
+  const Stats& stats() const { return stats_; }
+
+  // ---- CPU-side hooks (core::Runtime).
+  void OnCpuWrite(ThreadId t, AddrRange range, SimTime now,
+                  const SourceLoc& loc);
+  void OnCpuRead(ThreadId t, AddrRange range, SimTime now,
+                 const SourceLoc& loc);
+  // The clwb half of a Persist: dirty lines in `range` become flushed.
+  // NPM005 fires when the range contains no dirty line at all.
+  void OnFlush(ThreadId t, AddrRange range, SimTime now, const SourceLoc& loc);
+  // The sfence half: every flushed line becomes persisted (leaves the map).
+  void OnFence(ThreadId t);
+  // Hardware write-back guard ahead of an NDP command: persists pending
+  // lines without the redundancy lint (the hardware only writes back lines
+  // that are actually pending).
+  void OnCoherenceWriteback(ThreadId t, AddrRange range);
+
+  // ---- Command-path hooks.
+  // Called once per NDP command by the runtime, after the write-back guard
+  // and after the per-device split, before any device executes.
+  // `touched_devices` is a bitmask of participating device ids.
+  // Checks NPM002 (operands not persisted) and, for commit-class commands,
+  // NPM004 (other devices with un-synchronized in-flight requests).
+  void OnNdpCommand(ThreadId t, AddrRange read_range, AddrRange write_range,
+                    SimTime now, bool commit_class,
+                    std::uint32_t touched_devices, const SourceLoc& loc);
+  // Called by NearPmDevice when a slice starts executing: registers the
+  // in-flight request on that device's clock. `deferred` marks maintenance
+  // slices (log deletion behind a delayed sync): they are exempt from
+  // NPM004, which targets commits racing un-synchronized *log-write*
+  // requests, not each other.
+  void OnDeviceExecute(DeviceId dev, std::uint64_t seq, AddrRange write_range,
+                       SimTime completion, bool deferred = false);
+  // Called by PmSpace whenever a request becomes architecturally ordered.
+  void OnRetire(DeviceId dev, std::uint64_t seq);
+  // Cross-device sync lifecycle (PmSpace::SyncMarker / RetireThroughSync).
+  void OnSyncMarker(std::uint64_t sync_id);
+  void OnSyncComplete(std::uint64_t sync_id);
+
+  // ---- Mechanism-level hooks (pmlib providers via the heap).
+  void OnOpBegin(ThreadId t);
+  // An operation ended; if `durable` the provider guarantees everything the
+  // op wrote is crash-consistent, so un-flushed lines written by `t` fire
+  // NPM006.
+  void OnOpEnd(ThreadId t, bool durable, SimTime now, const SourceLoc& loc);
+  // Recovery bracket: reads between Begin/EndDurableScope must only observe
+  // data persisted before the scope opened (NPM001). Nestable.
+  void BeginDurableScope();
+  void EndDurableScope();
+
+  // ---- Lifecycle.
+  // Power failure: volatile shadow state (store buffers, in-flight clocks)
+  // is gone by definition.
+  void OnCrash();
+  // Clean shutdown of a runtime: everything has been made durable.
+  void OnQuiesce();
+  // End of analysis: lines still dirty that were written outside any
+  // failure-atomic operation fire NPM006.
+  void Finish(SimTime now);
+
+ private:
+  enum class LineState : std::uint8_t { kDirty, kFlushed };
+
+  struct LineRec {
+    LineState state = LineState::kDirty;
+    ThreadId writer = 0;
+    std::uint64_t tick = 0;  // global write order
+    SimTime when = 0;
+    SourceLoc loc;
+    bool in_op = false;  // written inside a failure-atomic operation
+  };
+
+  struct LiveReq {
+    std::uint64_t seq = 0;
+    AddrRange write_range{};
+    SimTime completion = 0;
+    std::uint64_t after_sync = 0;  // last sync marker at issue time
+    bool retired = false;
+    bool deferred = false;  // maintenance slice, exempt from NPM004
+  };
+
+  bool InOp(ThreadId t) const {
+    return t < in_op_.size() && in_op_[t];
+  }
+  void SetInOp(ThreadId t, bool v);
+  // Lines of `range` with an un-persisted shadow entry.
+  std::uint64_t UnpersistedLinesIn(AddrRange range) const;
+  std::vector<LiveReq>& DeviceClock(DeviceId dev);
+  void ResetVolatile();
+
+  DiagnosticSink sink_;
+  Stats stats_;
+  std::unordered_map<PmAddr, LineRec> lines_;  // key: line base address
+  std::vector<PmAddr> flushed_;                // awaiting the next fence
+  std::vector<std::vector<LiveReq>> devices_;
+  std::vector<bool> in_op_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t last_marker_ = 0;
+  int durable_scope_ = 0;
+  std::uint64_t scope_begin_tick_ = 0;
+};
+
+}  // namespace analyze
+}  // namespace nearpm
+
+#endif  // NEARPM_ANALYZE_SANITIZER_H_

@@ -1,0 +1,116 @@
+#include "src/analyze/trace_analyzer.h"
+
+#include <algorithm>
+
+namespace nearpm {
+namespace analyze {
+namespace {
+
+// Offline findings anchor to the trace itself: the "file" is the literal
+// <trace> and the "line" is the event's global record order, which makes
+// every finding unique and reproducible against the exported JSONL.
+SourceLoc TraceLoc(const TraceEvent& e) {
+  return SourceLoc{"<trace>", static_cast<std::uint32_t>(e.order),
+                   TracePhaseName(e.phase)};
+}
+
+bool IsDevicePid(std::uint32_t pid) { return pid >= kTraceDevicePidBase; }
+
+DeviceId DevOf(std::uint32_t pid) {
+  return static_cast<DeviceId>(pid - kTraceDevicePidBase);
+}
+
+}  // namespace
+
+TraceAnalysisStats AnalyzeTrace(std::vector<TraceEvent> events,
+                                PmSanitizer* san) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.order < b.order;
+            });
+  TraceAnalysisStats stats;
+  bool in_recovery = false;
+  SimTime last_ts = 0;
+  for (const TraceEvent& e : events) {
+    ++stats.events;
+    last_ts = std::max(last_ts, e.end());
+    const SourceLoc loc = TraceLoc(e);
+    switch (e.phase) {
+      case TracePhase::kCpuWrite:
+        san->OnCpuWrite(e.tid, e.range, e.ts, loc);
+        break;
+      case TracePhase::kCpuRead:
+        san->OnCpuRead(e.tid, e.range, e.ts, loc);
+        break;
+      case TracePhase::kCpuPersist:
+        san->OnFlush(e.tid, e.range, e.ts, loc);
+        san->OnFence(e.tid);
+        break;
+      case TracePhase::kCpuFence:
+        san->OnFence(e.tid);
+        break;
+      case TracePhase::kCoherenceWb:
+        san->OnCoherenceWriteback(e.tid, e.range);
+        break;
+      case TracePhase::kUnitExec:
+        if (IsDevicePid(e.pid)) {
+          // arg1 carries the CPU-side post time for exec spans.
+          san->OnNdpCommand(0, e.range2, e.range, e.arg1,
+                            /*commit_class=*/false,
+                            1u << (DevOf(e.pid) & 31u), loc);
+          san->OnDeviceExecute(DevOf(e.pid), e.seq, e.range, e.end());
+        }
+        break;
+      case TracePhase::kDeferredExec:
+        if (IsDevicePid(e.pid)) {
+          san->OnNdpCommand(0, AddrRange{}, e.range, e.arg1,
+                            /*commit_class=*/true, 1u << (DevOf(e.pid) & 31u),
+                            loc);
+          san->OnDeviceExecute(DevOf(e.pid), e.seq, e.range, e.end(),
+                               /*deferred=*/true);
+        }
+        break;
+      case TracePhase::kRetire:
+        if (IsDevicePid(e.pid)) san->OnRetire(DevOf(e.pid), e.seq);
+        break;
+      case TracePhase::kSyncMarker:
+        san->OnSyncMarker(e.seq);
+        break;
+      case TracePhase::kSyncComplete:
+        san->OnSyncComplete(e.seq);
+        break;
+      case TracePhase::kCrash:
+        if (in_recovery) {
+          san->EndDurableScope();
+          in_recovery = false;
+        }
+        san->OnCrash();
+        break;
+      case TracePhase::kMechRecover:
+        if (!in_recovery) {
+          san->BeginDurableScope();
+          in_recovery = true;
+        }
+        break;
+      case TracePhase::kOpBegin:
+        if (in_recovery) {
+          san->EndDurableScope();
+          in_recovery = false;
+        }
+        san->OnOpBegin(e.tid);
+        break;
+      case TracePhase::kOpCommit:
+        san->OnOpEnd(e.tid, e.arg0 != 0, e.ts, loc);
+        break;
+      default:
+        ++stats.ignored;
+        break;
+    }
+  }
+  if (in_recovery) san->EndDurableScope();
+  san->Finish(last_ts);
+  return stats;
+}
+
+}  // namespace analyze
+}  // namespace nearpm

@@ -1,0 +1,36 @@
+// Offline trace analysis: replays a recorded TraceEvent stream through the
+// same PmSanitizer rule engine that the live hooks feed, so a JSONL trace
+// captured anywhere (CI artifact, user report) can be analyzed after the
+// fact with identical rule IDs.
+//
+// Event timestamps only order events within one trace epoch; the analyzer
+// replays in global record order (`TraceEvent::order`), which is the real
+// issue order of the program. Beware ring-buffer truncation: a trace
+// recorded with a small ring capacity can drop early writes/persists and
+// produce spurious findings -- record with an ample ring when analyzing.
+#ifndef NEARPM_ANALYZE_TRACE_ANALYZER_H_
+#define NEARPM_ANALYZE_TRACE_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analyze/sanitizer.h"
+#include "src/trace/trace_event.h"
+
+namespace nearpm {
+namespace analyze {
+
+struct TraceAnalysisStats {
+  std::uint64_t events = 0;    // events replayed
+  std::uint64_t ignored = 0;   // phases with no persistency meaning
+};
+
+// Replays `events` (any order; sorted internally by record order) through
+// `san`. Calls san->Finish() at the end of the stream.
+TraceAnalysisStats AnalyzeTrace(std::vector<TraceEvent> events,
+                                PmSanitizer* san);
+
+}  // namespace analyze
+}  // namespace nearpm
+
+#endif  // NEARPM_ANALYZE_TRACE_ANALYZER_H_

@@ -95,14 +95,23 @@ void Runtime::HostBarrier(ThreadId t, const AddrRange& range, bool is_write) {
 }
 
 void Runtime::CoherenceWriteback(ThreadId t, const AddrRange& range) {
-  if (!space_.retain_crash_state() || !options_.enforce_ppo ||
-      range.empty()) {
+  if (!options_.enforce_ppo || range.empty()) {
+    return;
+  }
+  // The hardware guard persists any pending operand line before the command
+  // executes: mirror that in the sanitizer's shadow state ahead of the
+  // fast-path bailout, without the NPM005 redundancy lint (the guard only
+  // touches lines that are actually pending).
+  NEARPM_SAN_HOOK(san_, OnCoherenceWriteback(t, range));
+  if (!space_.retain_crash_state()) {
     return;
   }
   const std::uint64_t n = space_.PendingLinesIn(range);
   if (n == 0) {
     return;
   }
+  NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCoherenceWb, .tid = t,
+                     .ts = stats_.now(t), .range = range, .arg0 = n);
   stats_.ChargeAs(t,
                   static_cast<double>(n) * options_.cost.cpu_flush_line_ns +
                       options_.cost.cpu_fence_ns,
@@ -111,7 +120,8 @@ void Runtime::CoherenceWriteback(ThreadId t, const AddrRange& range) {
 }
 
 void Runtime::Write(ThreadId t, PmAddr addr,
-                    std::span<const std::uint8_t> data) {
+                    std::span<const std::uint8_t> data,
+                    const std::source_location& loc) {
   if (data.empty()) {
     return;
   }
@@ -124,10 +134,13 @@ void Runtime::Write(ThreadId t, PmAddr addr,
                      .range = AddrRange{addr, addr + data.size()});
   stats_.Charge(t, static_cast<double>(CostModel::Lines(data.size())) *
                        options_.cost.cpu_store_line_ns);
+  NEARPM_SAN_HOOK(san_, OnCpuWrite(t, AddrRange{addr, addr + data.size()},
+                                   stats_.now(t), analyze::FromStd(loc)));
   space_.CpuWrite(addr, data);
 }
 
-void Runtime::Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out) {
+void Runtime::Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out,
+                   const std::source_location& loc) {
   if (out.empty()) {
     return;
   }
@@ -139,13 +152,18 @@ void Runtime::Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out) {
                      .ts = stats_.now(t), .range = range);
   stats_.Charge(t, static_cast<double>(CostModel::Lines(out.size())) *
                        options_.cost.cpu_cached_read_ns);
+  NEARPM_SAN_HOOK(san_, OnCpuRead(t, range, stats_.now(t),
+                                  analyze::FromStd(loc)));
   space_.CpuRead(addr, out);
 }
 
-void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size) {
+void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size,
+                      const std::source_location& loc) {
   if (size == 0) {
     return;
   }
+  NEARPM_SAN_HOOK(san_, OnFlush(t, AddrRange{addr, addr + size},
+                                stats_.now(t), analyze::FromStd(loc)));
   // The write-back enters the device's host read/write queue, which lives
   // inside the persistence domain: the fence waits for queue *acceptance*
   // only. The queue drains behind conflicting in-flight NDP requests
@@ -165,12 +183,14 @@ void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size) {
                     .range = AddrRange{addr, addr + size});
   stats_.Charge(t, options_.cost.CpuPersistNs(size));
   space_.CpuPersist(addr, size);
+  NEARPM_SAN_HOOK(san_, OnFence(t));
 }
 
 void Runtime::Fence(ThreadId t) {
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuFence, .tid = t,
                      .ts = stats_.now(t));
   stats_.Charge(t, options_.cost.cpu_fence_ns);
+  NEARPM_SAN_HOOK(san_, OnFence(t));
 }
 
 void Runtime::Compute(ThreadId t, double ns) { stats_.Charge(t, ns); }
@@ -231,7 +251,8 @@ SimTime Runtime::IssueNdp(const NearPmRequest& request,
                           const AddrRange& read_range,
                           const AddrRange& write_range,
                           const std::vector<NdpWorkItem>& work,
-                          SimTime earliest, bool synchronous, bool deferred) {
+                          SimTime earliest, bool synchronous, bool deferred,
+                          const analyze::SourceLoc& loc) {
   const ThreadId t = request.thread;
   HarvestSyncs(stats_.now(t));
   CoherenceWriteback(t, read_range);
@@ -261,6 +282,20 @@ SimTime Runtime::IssueNdp(const NearPmRequest& request,
       }
       per_dev[slice.device].push_back(std::move(piece));
     }
+  }
+
+  // Checked at the doorbell, after the write-back guard: any operand line
+  // still in the sanitizer's shadow store buffer is an NPM002; commit-class
+  // (deferred) commands additionally check cross-device sync (NPM004).
+  if (san_ != nullptr) {
+    std::uint32_t touched_mask = 0;
+    for (std::size_t d = 0; d < per_dev.size() && d < 32; ++d) {
+      if (!per_dev[d].empty()) {
+        touched_mask |= 1u << d;
+      }
+    }
+    san_->OnNdpCommand(t, read_range, write_range, stats_.now(t), deferred,
+                       touched_mask, loc);
   }
 
   // The CPU posts one command; the memory controller duplicates it to every
@@ -335,8 +370,8 @@ AddrRange RangeOf(PmAddr addr, std::uint64_t size) {
 }  // namespace
 
 Status Runtime::UndologCreate(PoolId pool, ThreadId t, std::uint64_t tx_id,
-                              PmAddr old_data, std::uint64_t size,
-                              PmAddr slot) {
+                              PmAddr old_data, std::uint64_t size, PmAddr slot,
+                              const std::source_location& loc) {
   if (size == 0 || size > kMaxLogData) {
     return InvalidArgument("undo log payload size out of range");
   }
@@ -366,12 +401,14 @@ Status Runtime::UndologCreate(PoolId pool, ThreadId t, std::uint64_t tx_id,
   }
   stats_.SetCategory(t, CcCategory::kDataMovement);
   IssueNdp(req, RangeOf(old_data, size), RangeOf(slot, kSlotSize), work,
-           /*earliest=*/0, /*synchronous=*/false);
+           /*earliest=*/0, /*synchronous=*/false, /*deferred=*/false,
+           analyze::FromStd(loc));
   return Status::Ok();
 }
 
 Status Runtime::ApplyLog(PoolId pool, ThreadId t, PmAddr slot,
-                         std::uint64_t size, PmAddr target) {
+                         std::uint64_t size, PmAddr target,
+                         const std::source_location& loc) {
   if (size == 0 || size > kMaxLogData) {
     return InvalidArgument("redo log payload size out of range");
   }
@@ -393,12 +430,14 @@ Status Runtime::ApplyLog(PoolId pool, ThreadId t, PmAddr slot,
   }
   stats_.SetCategory(t, CcCategory::kDataMovement);
   IssueNdp(req, RangeOf(CcArea::SlotData(slot), size), RangeOf(target, size),
-           work, /*earliest=*/0, /*synchronous=*/false);
+           work, /*earliest=*/0, /*synchronous=*/false, /*deferred=*/false,
+           analyze::FromStd(loc));
   return Status::Ok();
 }
 
 Status Runtime::CommitLog(PoolId pool, ThreadId t,
-                          std::span<const PmAddr> slots) {
+                          std::span<const PmAddr> slots,
+                          const std::source_location& loc) {
   ++counters_.commit_log;
   stats_.SetCategory(t, CcCategory::kMetadata);
   if (!options_.UsesNdp()) {
@@ -470,14 +509,16 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
     // Log deletion runs on the maintenance path: off the units, off the
     // critical path (Section 5.3.2).
     IssueNdp(req, AddrRange{}, RangeOf(slot, kSlotHeaderSize), BuildWork(req),
-             earliest, /*synchronous=*/false, /*deferred=*/true);
+             earliest, /*synchronous=*/false, /*deferred=*/true,
+             analyze::FromStd(loc));
   }
   return Status::Ok();
 }
 
 StatusOr<SimTime> Runtime::CkpointCreate(PoolId pool, ThreadId t,
                                          std::uint64_t epoch, PmAddr page,
-                                         std::uint64_t size, PmAddr slot) {
+                                         std::uint64_t size, PmAddr slot,
+                                         const std::source_location& loc) {
   if (size == 0 || size > kMaxLogData) {
     return InvalidArgument("checkpoint payload size out of range");
   }
@@ -505,11 +546,13 @@ StatusOr<SimTime> Runtime::CkpointCreate(PoolId pool, ThreadId t,
   }
   stats_.SetCategory(t, CcCategory::kDataMovement);
   return IssueNdp(req, RangeOf(page, size), RangeOf(slot, kSlotSize), work,
-                  /*earliest=*/0, /*synchronous=*/false);
+                  /*earliest=*/0, /*synchronous=*/false, /*deferred=*/false,
+                  analyze::FromStd(loc));
 }
 
 Status Runtime::ShadowCpy(PoolId pool, ThreadId t, PmAddr src_page,
-                          PmAddr dst_page, std::uint64_t size) {
+                          PmAddr dst_page, std::uint64_t size,
+                          const std::source_location& loc) {
   if (size == 0 || size > kPmPageSize) {
     return InvalidArgument("shadow copy size out of range");
   }
@@ -532,12 +575,14 @@ Status Runtime::ShadowCpy(PoolId pool, ThreadId t, PmAddr src_page,
   }
   stats_.SetCategory(t, CcCategory::kDataMovement);
   IssueNdp(req, RangeOf(src_page, size), RangeOf(dst_page, size), work,
-           /*earliest=*/0, /*synchronous=*/false);
+           /*earliest=*/0, /*synchronous=*/false, /*deferred=*/false,
+           analyze::FromStd(loc));
   return Status::Ok();
 }
 
 Status Runtime::RawCopy(PoolId pool, ThreadId t, PmAddr src, PmAddr dst,
-                        std::uint64_t size, bool wait) {
+                        std::uint64_t size, bool wait,
+                        const std::source_location& loc) {
   if (size == 0) {
     return InvalidArgument("copy size must be nonzero");
   }
@@ -560,7 +605,7 @@ Status Runtime::RawCopy(PoolId pool, ThreadId t, PmAddr src, PmAddr dst,
   }
   stats_.SetCategory(t, CcCategory::kDataMovement);
   IssueNdp(req, RangeOf(src, size), RangeOf(dst, size), work, /*earliest=*/0,
-           wait);
+           wait, /*deferred=*/false, analyze::FromStd(loc));
   return Status::Ok();
 }
 
@@ -612,6 +657,9 @@ CrashReport Runtime::InjectCrashAt(const CrashPlan& plan) {
 CrashReport Runtime::FinishCrash(CrashReport report, SimTime crash_time) {
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCrash, .ts = crash_time,
                      .arg0 = report.frontier_sync);
+  // Store buffers and in-flight clocks are volatile: a power failure clears
+  // the sanitizer's shadow state with them.
+  NEARPM_SAN_HOOK(san_, OnCrash());
 
   // Hardware recovery (Section 5.3.3): reload the persistence-domain
   // structures and replay the requests that were still in flight -- in the
@@ -687,6 +735,17 @@ void Runtime::AttachTrace(TraceRecorder* trace) {
   space_.set_trace(trace);
   for (auto& dev : devices_) {
     dev->set_trace(trace);
+  }
+}
+
+void Runtime::AttachSanitizer(analyze::PmSanitizer* san) {
+  // The sanitizer mirrors retire/sync bookkeeping that PmSpace only performs
+  // with crash-state retention on.
+  assert(san == nullptr || options_.retain_crash_state);
+  san_ = san;
+  space_.set_sanitizer(san);
+  for (auto& dev : devices_) {
+    dev->set_sanitizer(san);
   }
 }
 

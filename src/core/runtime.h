@@ -21,8 +21,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <vector>
+
+#include "src/analyze/sanitizer.h"
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -73,23 +76,30 @@ class Runtime {
   Status UnregisterPool(PoolId pool);
 
   // ---- CPU-side PM access (timing + function + Invariant 1/2) ---------------
-  void Write(ThreadId t, PmAddr addr, std::span<const std::uint8_t> data);
-  void Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out);
+  // The defaulted source_location parameters capture the issuing call site
+  // for the PM-Sanitizer; they cost nothing when no sanitizer is attached.
+  void Write(ThreadId t, PmAddr addr, std::span<const std::uint8_t> data,
+             const std::source_location& loc = std::source_location::current());
+  void Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out,
+            const std::source_location& loc = std::source_location::current());
   // clwb + sfence over the range.
-  void Persist(ThreadId t, PmAddr addr, std::uint64_t size);
+  void Persist(ThreadId t, PmAddr addr, std::uint64_t size,
+               const std::source_location& loc = std::source_location::current());
   void Fence(ThreadId t);
   // Pure CPU work (hashing, comparisons, request parsing...).
   void Compute(ThreadId t, double ns);
 
   template <typename T>
-  T Load(ThreadId t, PmAddr addr) {
+  T Load(ThreadId t, PmAddr addr,
+         const std::source_location& loc = std::source_location::current()) {
     T value{};
-    Read(t, addr, {reinterpret_cast<std::uint8_t*>(&value), sizeof(T)});
+    Read(t, addr, {reinterpret_cast<std::uint8_t*>(&value), sizeof(T)}, loc);
     return value;
   }
   template <typename T>
-  void Store(ThreadId t, PmAddr addr, const T& value) {
-    Write(t, addr, AsBytes(value));
+  void Store(ThreadId t, PmAddr addr, const T& value,
+             const std::source_location& loc = std::source_location::current()) {
+    Write(t, addr, AsBytes(value), loc);
   }
 
   // ---- Crash-consistency region bracketing (Figures 1, 15, 18) --------------
@@ -111,27 +121,39 @@ class Runtime {
   // NearPM_undolog_create: copy `size` bytes at `old_data` into `slot`'s
   // payload and write the slot header (tagged with tx_id) last.
   Status UndologCreate(PoolId pool, ThreadId t, std::uint64_t tx_id,
-                       PmAddr old_data, std::uint64_t size, PmAddr slot);
+                       PmAddr old_data, std::uint64_t size, PmAddr slot,
+                       const std::source_location& loc =
+                           std::source_location::current());
   // NearPM_applylog: copy a redo slot's payload onto its target.
   Status ApplyLog(PoolId pool, ThreadId t, PmAddr slot, std::uint64_t size,
-                  PmAddr target);
+                  PmAddr target,
+                  const std::source_location& loc =
+                      std::source_location::current());
   // NearPM_commit_log: invalidate the given slot headers. In multi-device
   // delayed mode the invalidations are ordered behind a cross-device
   // synchronization that stays off the CPU's critical path; in SW-sync mode
   // the CPU polls all devices to completion first.
-  Status CommitLog(PoolId pool, ThreadId t, std::span<const PmAddr> slots);
+  Status CommitLog(PoolId pool, ThreadId t, std::span<const PmAddr> slots,
+                   const std::source_location& loc =
+                       std::source_location::current());
   // NearPM_ckpoint_create: copy a page into a checkpoint slot, header last.
   // Returns the device completion time so the caller can synchronize on the
   // snapshot (checkpointing confirms its pre-images; see CheckpointProvider).
   StatusOr<SimTime> CkpointCreate(PoolId pool, ThreadId t, std::uint64_t epoch,
-                                  PmAddr page, std::uint64_t size, PmAddr slot);
+                                  PmAddr page, std::uint64_t size, PmAddr slot,
+                                  const std::source_location& loc =
+                                      std::source_location::current());
   // NearPM_shadowcpy: copy an existing page to a freshly allocated one.
   Status ShadowCpy(PoolId pool, ThreadId t, PmAddr src_page, PmAddr dst_page,
-                   std::uint64_t size);
+                   std::uint64_t size,
+                   const std::source_location& loc =
+                       std::source_location::current());
   // Generic near-memory copy (micro-benchmark). `wait` makes the call
   // synchronous (the CPU polls for completion).
   Status RawCopy(PoolId pool, ThreadId t, PmAddr src, PmAddr dst,
-                 std::uint64_t size, bool wait);
+                 std::uint64_t size, bool wait,
+                 const std::source_location& loc =
+                     std::source_location::current());
 
   // CPU-polls until every device drained and all delayed syncs completed.
   void DrainDevices(ThreadId t);
@@ -164,6 +186,13 @@ class Runtime {
   void AttachTrace(TraceRecorder* trace);
   TraceRecorder* trace() const { return trace_; }
 
+  // Attaches the PM-Sanitizer (or detaches, with nullptr) to the runtime,
+  // the PM space and every device. Requires retain_crash_state=true (the
+  // sanitizer's retire/sync mirror feeds off PmSpace bookkeeping) and a
+  // single-threaded driver.
+  void AttachSanitizer(analyze::PmSanitizer* san);
+  analyze::PmSanitizer* sanitizer() const { return san_; }
+
  private:
   struct PendingSync {
     std::uint64_t id = 0;
@@ -176,7 +205,8 @@ class Runtime {
   SimTime IssueNdp(const NearPmRequest& request,
                    const AddrRange& read_range, const AddrRange& write_range,
                    const std::vector<NdpWorkItem>& work, SimTime earliest,
-                   bool synchronous, bool deferred = false);
+                   bool synchronous, bool deferred = false,
+                   const analyze::SourceLoc& loc = {});
 
   // Builds the functional work decomposition of a request (used at issue
   // time and again by hardware recovery replay).
@@ -209,6 +239,7 @@ class Runtime {
   PoolId next_pool_ = 1;
   std::vector<std::uint8_t> scratch_;
   TraceRecorder* trace_ = nullptr;
+  analyze::PmSanitizer* san_ = nullptr;
 };
 
 }  // namespace nearpm

@@ -217,6 +217,9 @@ bool CrashFuzzer::ExecutePrefix(const FuzzCase& c, Env* env,
   env->recorder = std::make_unique<TraceRecorder>();
   env->rt = std::make_unique<Runtime>(opts);
   env->rt->AttachTrace(env->recorder.get());
+  if (config_.sanitizer != nullptr) {
+    env->rt->AttachSanitizer(config_.sanitizer);
+  }
 
   PoolArena arena(0);
   HeapOptions ho;

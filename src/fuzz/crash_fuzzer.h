@@ -35,6 +35,11 @@
 #include "src/pmlib/provider.h"
 
 namespace nearpm {
+
+namespace analyze {
+class PmSanitizer;
+}  // namespace analyze
+
 namespace fuzz {
 
 struct FuzzConfig {
@@ -48,6 +53,9 @@ struct FuzzConfig {
   std::uint64_t data_size = 256ull << 10;
   int accounts = 8;
   int ckpt_epoch_ops = 4;
+  // Optional PM-Sanitizer attached to every replayed environment, so corpus
+  // repros and fuzz sweeps run under the eager persistency-bug analyzer.
+  analyze::PmSanitizer* sanitizer = nullptr;
 };
 
 // One fully deterministic crash schedule (see file comment).

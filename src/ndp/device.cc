@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/analyze/sanitizer.h"
+
 namespace nearpm {
 
 NearPmDevice::NearPmDevice(DeviceId id, const CostModel* cost, int num_units,
@@ -104,6 +106,8 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
   last_completion_ = std::max(last_completion_, result.completion);
   stats_.unit_busy_ns += work_ns;
   ++stats_.requests;
+  NEARPM_SAN_HOOK(san_,
+                  OnDeviceExecute(id_, seq, write_range, result.completion));
 
   // 6. Functional execution. Reads observe (and thereby order after) earlier
   //    NDP writes to the same lines; writes are tagged with the request and
@@ -177,6 +181,8 @@ NearPmDevice::IssueResult NearPmDevice::IssueDeferred(
       InflightTable::Entry{seq, AddrRange{}, write_range, result.completion});
   stats_.unit_busy_ns += work_ns;
   ++stats_.requests;
+  NEARPM_SAN_HOOK(san_, OnDeviceExecute(id_, seq, write_range,
+                                        result.completion, /*deferred=*/true));
 
   space_->BeginNdpRequest(id_, seq, result.completion - NsToTime(work_ns),
                           result.completion);

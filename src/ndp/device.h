@@ -106,6 +106,10 @@ class NearPmDevice {
   // Attaches (or detaches, with nullptr) the event recorder.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  // Attaches (or detaches) the PM-Sanitizer; every request slice this device
+  // executes is then registered on the sanitizer's per-device clock.
+  void set_sanitizer(analyze::PmSanitizer* san) { san_ = san; }
+
   void Reset();
 
  private:
@@ -121,6 +125,7 @@ class NearPmDevice {
   DeviceStats stats_;
   std::vector<std::uint8_t> copy_buffer_;
   TraceRecorder* trace_ = nullptr;
+  analyze::PmSanitizer* san_ = nullptr;
 };
 
 }  // namespace nearpm

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/analyze/sanitizer.h"
+
 namespace nearpm {
 namespace {
 
@@ -192,6 +194,7 @@ void PmSpace::GuardRange(DeviceId device, std::uint64_t request_seq,
 }
 
 void PmSpace::SyncMarker(std::uint64_t sync_id) {
+  NEARPM_SAN_HOOK(san_, OnSyncMarker(sync_id));
   if (!options_.retain_crash_state) {
     return;
   }
@@ -219,6 +222,7 @@ void PmSpace::RetireRecord(DeviceLog& log, RequestRecord& rec) {
 }
 
 void PmSpace::RetireRequest(DeviceId device, std::uint64_t request_seq) {
+  NEARPM_SAN_HOOK(san_, OnRetire(device, request_seq));
   if (!options_.retain_crash_state) {
     return;
   }
@@ -237,6 +241,7 @@ void PmSpace::RetireRequest(DeviceId device, std::uint64_t request_seq) {
 }
 
 void PmSpace::RetireThroughSync(std::uint64_t sync_id) {
+  NEARPM_SAN_HOOK(san_, OnSyncComplete(sync_id));
   if (!options_.retain_crash_state) {
     return;
   }
@@ -506,6 +511,7 @@ CrashReport PmSpace::CrashWith(std::uint64_t crash_time, SurviveFn&& survive) {
 }
 
 void PmSpace::Quiesce() {
+  NEARPM_SAN_HOOK(san_, OnQuiesce());
   pending_.clear();
   read_guards_.clear();
   for (auto& log : device_logs_) {

@@ -48,6 +48,10 @@
 
 namespace nearpm {
 
+namespace analyze {
+class PmSanitizer;
+}  // namespace analyze
+
 // Execution outcome of one NDP request on one device at the failure instant.
 enum class CrashOutcome { kDropped, kPartial, kDurable };
 
@@ -183,6 +187,11 @@ class PmSpace {
   // stamps each tracked request's sampled outcome into the trace.
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  // Attaches (or detaches) the PM-Sanitizer; retire/sync bookkeeping is then
+  // mirrored into its per-device clocks. Requires retain_crash_state=true
+  // (enforced by Runtime::AttachSanitizer, which also wires the devices).
+  void set_sanitizer(analyze::PmSanitizer* san) { san_ = san; }
+
  private:
   struct LineEvent {
     PmAddr addr = 0;
@@ -231,6 +240,7 @@ class PmSpace {
   std::vector<DeviceLog> device_logs_;
   std::uint64_t last_sync_id_ = 0;
   TraceRecorder* trace_ = nullptr;
+  analyze::PmSanitizer* san_ = nullptr;
 };
 
 }  // namespace nearpm

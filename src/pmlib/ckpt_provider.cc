@@ -113,15 +113,19 @@ StatusOr<bool> CheckpointProvider::CommitOp(ThreadId t,
     rt.stats().SetCategory(t, CcCategory::kOrdering);
     rt.WaitUntil(t, ts.snapshot_done);
   }
-  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
-                     .ts = rt.Now(t), .seq = ts.epoch);
-  ts.active = false;
-  ++ts.ops_in_epoch;
   // Close at the interval, or early under slot pressure (epoch boundaries
   // only ever fall between operations so each op stays failure-atomic).
+  // arg0 records whether this commit reaches a durable point (epoch close);
+  // until then the op's pages live only in CPU caches.
   constexpr std::size_t kSlotMargin = 16;
-  if (ts.ops_in_epoch >= epoch_ops_ ||
-      ts.used_slots + kSlotMargin >= kCkptSlots) {
+  const bool will_close = ts.ops_in_epoch + 1 >= epoch_ops_ ||
+                          ts.used_slots + kSlotMargin >= kCkptSlots;
+  NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
+                     .ts = rt.Now(t), .seq = ts.epoch,
+                     .arg0 = will_close ? 1 : 0);
+  ts.active = false;
+  ++ts.ops_in_epoch;
+  if (will_close) {
     NEARPM_RETURN_IF_ERROR(CloseEpoch(t));
     return true;
   }

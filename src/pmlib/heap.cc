@@ -1,8 +1,37 @@
 #include "src/pmlib/heap.h"
 
+#include <algorithm>
+
+#include "src/analyze/sanitizer.h"
 #include "src/core/cc_stats.h"
 
 namespace nearpm {
+
+std::vector<AddrRange> MergeDirtyRanges(std::span<const AddrRange> dirty) {
+  std::vector<AddrRange> merged;
+  merged.reserve(dirty.size());
+  for (const AddrRange& r : dirty) {
+    if (r.empty()) {
+      continue;
+    }
+    merged.push_back(AddrRange{AlignDown(r.begin, kCacheLineSize),
+                               AlignUp(r.end, kCacheLineSize)});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const AddrRange& a, const AddrRange& b) {
+              return a.begin < b.begin;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (out > 0 && merged[i].begin <= merged[out - 1].end) {
+      merged[out - 1].end = std::max(merged[out - 1].end, merged[i].end);
+    } else {
+      merged[out++] = merged[i];
+    }
+  }
+  merged.resize(out);
+  return merged;
+}
 
 PersistentHeap::PersistentHeap(PmPool pool, const HeapOptions& options)
     : pool_(pool),
@@ -52,6 +81,7 @@ Status PersistentHeap::BeginOp(ThreadId t) {
   if (ts.in_op) {
     return FailedPrecondition("operation already open");
   }
+  NEARPM_SAN_HOOK(pool_.rt().sanitizer(), OnOpBegin(t));
   NEARPM_RETURN_IF_ERROR(provider_->BeginOp(t));
   ts.in_op = true;
   ts.dirty.clear();
@@ -63,10 +93,13 @@ Status PersistentHeap::CommitOp(ThreadId t) {
   if (!ts.in_op) {
     return FailedPrecondition("no open operation");
   }
-  auto durable = provider_->CommitOp(t, ts.dirty);
+  const std::vector<AddrRange> merged = MergeDirtyRanges(ts.dirty);
+  auto durable = provider_->CommitOp(t, merged);
   if (!durable.ok()) {
     return durable.status();
   }
+  NEARPM_SAN_HOOK(pool_.rt().sanitizer(),
+                  OnOpEnd(t, *durable, pool_.rt().Now(t), {}));
   ts.in_op = false;
   ts.dirty.clear();
   if (*durable && !ts.deferred_frees.empty()) {
@@ -80,7 +113,8 @@ Status PersistentHeap::CommitOp(ThreadId t) {
 }
 
 Status PersistentHeap::Write(ThreadId t, PmAddr addr,
-                             std::span<const std::uint8_t> data) {
+                             std::span<const std::uint8_t> data,
+                             const std::source_location& loc) {
   ThreadState& ts = threads_[t];
   Runtime& rt = pool_.rt();
   PmAddr target = addr;
@@ -92,17 +126,18 @@ Status PersistentHeap::Write(ThreadId t, PmAddr addr,
     target = *prepared;
     ts.dirty.push_back(AddrRange{target, target + data.size()});
   }
-  rt.Write(t, target, data);
+  rt.Write(t, target, data, loc);
   return Status::Ok();
 }
 
 Status PersistentHeap::Read(ThreadId t, PmAddr addr,
-                            std::span<std::uint8_t> out) {
+                            std::span<std::uint8_t> out,
+                            const std::source_location& loc) {
   auto translated = provider_->TranslateLoad(t, addr, out.size());
   if (!translated.ok()) {
     return translated.status();
   }
-  pool_.rt().Read(t, *translated, out);
+  pool_.rt().Read(t, *translated, out, loc);
   return Status::Ok();
 }
 
@@ -131,12 +166,20 @@ void PersistentHeap::DropVolatile() {
 }
 
 Status PersistentHeap::Recover() {
-  NEARPM_RETURN_IF_ERROR(provider_->Recover());
-  alloc_.RebuildVolatile();
-  for (ThreadState& ts : threads_) {
-    ts = ThreadState{};
+  // Recovery reads the durable image a crash left behind: everything it
+  // loads must be persisted state, so the whole pass runs inside the
+  // sanitizer's durable scope (reads of unpersisted lines become NPM001).
+  analyze::PmSanitizer* san = pool_.rt().sanitizer();
+  NEARPM_SAN_HOOK(san, BeginDurableScope());
+  Status st = provider_->Recover();
+  if (st.ok()) {
+    alloc_.RebuildVolatile();
+    for (ThreadState& ts : threads_) {
+      ts = ThreadState{};
+    }
   }
-  return Status::Ok();
+  NEARPM_SAN_HOOK(san, EndDurableScope());
+  return st;
 }
 
 }  // namespace nearpm

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <source_location>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,13 @@
 #include "src/pmlib/undo_provider.h"
 
 namespace nearpm {
+
+// Rounds every range to cacheline granularity, sorts, and coalesces
+// overlapping or adjacent entries. Operations that touch the same line many
+// times (field-by-field stores into one struct) otherwise hand the provider
+// one dirty entry per store, and the commit-time persist loop re-flushes the
+// same line repeatedly -- exactly the redundancy NPM005 flags.
+std::vector<AddrRange> MergeDirtyRanges(std::span<const AddrRange> dirty);
 
 struct HeapOptions {
   Mechanism mechanism = Mechanism::kLogging;
@@ -71,19 +79,25 @@ class PersistentHeap {
   Status CommitOp(ThreadId t);
 
   // ---- Data access (data-window addresses) ----------------------------------
-  Status Write(ThreadId t, PmAddr addr, std::span<const std::uint8_t> data);
-  Status Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out);
+  Status Write(ThreadId t, PmAddr addr, std::span<const std::uint8_t> data,
+               const std::source_location& loc = std::source_location::current());
+  Status Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out,
+              const std::source_location& loc = std::source_location::current());
 
   template <typename T>
-  StatusOr<T> Load(ThreadId t, PmAddr addr) {
+  StatusOr<T> Load(
+      ThreadId t, PmAddr addr,
+      const std::source_location& loc = std::source_location::current()) {
     T value{};
-    NEARPM_RETURN_IF_ERROR(
-        Read(t, addr, {reinterpret_cast<std::uint8_t*>(&value), sizeof(T)}));
+    NEARPM_RETURN_IF_ERROR(Read(
+        t, addr, {reinterpret_cast<std::uint8_t*>(&value), sizeof(T)}, loc));
     return value;
   }
   template <typename T>
-  Status Store(ThreadId t, PmAddr addr, const T& value) {
-    return Write(t, addr, AsBytes(value));
+  Status Store(
+      ThreadId t, PmAddr addr, const T& value,
+      const std::source_location& loc = std::source_location::current()) {
+    return Write(t, addr, AsBytes(value), loc);
   }
 
   // ---- Allocation (inside an operation) -------------------------------------

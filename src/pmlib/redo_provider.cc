@@ -131,7 +131,7 @@ StatusOr<bool> RedoLogProvider::CommitOp(ThreadId t,
   // COMMITTED persists until the next BeginOp; re-applying a committed log
   // at recovery is idempotent.
   NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
-                     .ts = rt.Now(t), .seq = ts.tx_id);
+                     .ts = rt.Now(t), .seq = ts.tx_id, .arg0 = 1);
   ts.active = false;
   return true;
 }

@@ -153,7 +153,7 @@ StatusOr<bool> ShadowPagingProvider::CommitOp(ThreadId t,
   }
   ts.shadowed.clear();
   NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
-                     .ts = rt.Now(t));
+                     .ts = rt.Now(t), .arg0 = 1);
   ts.active = false;
   return true;
 }

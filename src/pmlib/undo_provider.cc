@@ -113,7 +113,7 @@ StatusOr<bool> UndoLogProvider::CommitOp(ThreadId t,
   // in between scrubs any leftover slots without applying them (state is not
   // ACTIVE), so an explicit IDLE write would buy nothing.
   NEARPM_TRACE_EVENT(rt.trace(), .phase = TracePhase::kOpCommit, .tid = t,
-                     .ts = rt.Now(t), .seq = ts.tx_id);
+                     .ts = rt.Now(t), .seq = ts.tx_id, .arg0 = 1);
   ts.active = false;
   return true;
 }

@@ -68,6 +68,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "inflight_depth";
     case TracePhase::kServeQueueDepth:
       return "serve_queue_depth";
+    case TracePhase::kCoherenceWb:
+      return "coherence_wb";
     case TracePhase::kCount:
       break;
   }

@@ -64,6 +64,9 @@ enum class TracePhase : std::uint8_t {
   kFifoDepth,       // Request-FIFO occupancy after an enqueue
   kInflightDepth,   // In-flight Access Table population after an insert
   kServeQueueDepth, // shard queue backlog at batch pickup
+  // ---- Coherence (appended; values above are a stable external contract).
+  kCoherenceWb,     // instant: write-back guard persisted pending CPU lines
+                    // ahead of an NDP command (Section 4 coherence handler)
   kCount,
 };
 

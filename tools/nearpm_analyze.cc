@@ -1,0 +1,400 @@
+// nearpm_analyze: PM-Sanitizer front end.
+//
+// Runs one workload configuration in the simulated platform with the eager
+// persistency-bug analyzer attached (or replays a raw trace / a crash-repro
+// corpus through the same rule engine) and reports NPM001-NPM006 findings as
+// human text, machine JSON, or SARIF 2.1.0. Exit code is nonzero when
+// unsuppressed findings remain -- unless --expect-findings inverts the
+// contract (then a *clean* run is the failure; CI uses this to prove the
+// analyzer still has teeth against the enforce_ppo=false ablation).
+//
+//   --workload=NAME     workload to run (default btree; see src/workloads)
+//   --mechanism=NAME    logging | redo | checkpointing | cow (default logging)
+//   --mode=NAME         baseline | nearpm_sd | nearpm_md_swsync | nearpm_md
+//                       (default nearpm_md)
+//   --ops=N             operations after setup (default 200)
+//   --threads=N         application threads (default 1)
+//   --units=N           NearPM units per device (default 4)
+//   --initial-keys=N    setup population (default 200)
+//   --seed=N            workload RNG seed (default 7)
+//   --enforce-ppo=0|1   disable/enable PPO ordering (default 1; 0 is the
+//                       Section 2.3 ablation the analyzer must flag)
+//   --trace-in=FILE     analyze a raw trace JSONL instead of running anything
+//   --corpus=DIR        replay every bank-kind crash repro under the analyzer
+//   --suppress=SPEC     suppression (repeatable): "NPM005" or "NPM005:file"
+//   --expect-findings   exit 0 iff at least one unsuppressed finding fired
+//   --sarif=FILE        write a SARIF 2.1.0 document ("-" = stdout)
+//   --json-out=FILE     write the nearpm-analyze-v1 JSON report
+//   --bench-json=FILE   write deterministic hook counters in google-benchmark
+//                       JSON shape (tools/check_bench.py gates these)
+//   --quiet             suppress the human text report on stdout
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analyze/sanitizer.h"
+#include "src/analyze/trace_analyzer.h"
+#include "src/core/runtime.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_fuzzer.h"
+#include "src/prof/raw_trace.h"
+#include "src/workloads/workload.h"
+
+namespace nearpm {
+namespace {
+
+struct CliOptions {
+  std::string workload = "btree";
+  std::string mechanism = "logging";
+  std::string mode = "nearpm_md";
+  std::uint64_t ops = 200;
+  int threads = 1;
+  int units = 4;
+  std::uint64_t initial_keys = 200;
+  std::uint64_t seed = 7;
+  bool enforce_ppo = true;
+  std::string trace_in;
+  std::string corpus;
+  std::vector<std::string> suppressions;
+  bool expect_findings = false;
+  std::string sarif_out;
+  std::string json_out;
+  std::string bench_json;
+  bool quiet = false;
+};
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool MatchFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload=NAME] [--mechanism=NAME] [--mode=NAME]\n"
+      "          [--ops=N] [--threads=N] [--units=N] [--initial-keys=N]\n"
+      "          [--seed=N] [--enforce-ppo=0|1] [--trace-in=FILE]\n"
+      "          [--corpus=DIR] [--suppress=SPEC]... [--expect-findings]\n"
+      "          [--sarif=FILE] [--json-out=FILE] [--bench-json=FILE]\n"
+      "          [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+bool WriteOutput(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Deterministic hook counters in the google-benchmark JSON shape that
+// tools/check_bench.py consumes: any accidental hook-count explosion (a hot
+// path instrumented twice, a shadow map that stops being bounded) drifts a
+// counter past the gate's tolerance.
+std::string BenchJson(const CliOptions& cli, const analyze::PmSanitizer& san,
+                      SimTime sim_ns) {
+  const analyze::PmSanitizer::Stats& s = san.stats();
+  std::string name = "analyze/" + cli.workload + "_" + cli.mechanism + "_" +
+                     cli.mode;
+  std::string out = "{\n  \"benchmarks\": [\n    {\n";
+  out += "      \"name\": \"" + name + "\",\n";
+  auto counter = [&out](const char* key, std::uint64_t v, bool last = false) {
+    out += "      \"";
+    out += key;
+    out += "\": " + std::to_string(v) + (last ? "\n" : ",\n");
+  };
+  counter("san_writes", s.writes);
+  counter("san_reads", s.reads);
+  counter("san_flushes", s.flushes);
+  counter("san_fences", s.fences);
+  counter("san_ndp_commands", s.ndp_commands);
+  counter("san_retires", s.retires);
+  counter("shadow_lines_peak", s.shadow_lines_peak);
+  counter("findings", san.sink().total_unsuppressed());
+  counter("sim_ns", sim_ns, /*last=*/true);
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
+// Runs the configured workload with the sanitizer attached. Returns 0/1/2
+// like main; `sim_ns` receives the final simulated time.
+int RunWorkloadAnalyzed(const CliOptions& cli, analyze::PmSanitizer* san,
+                        SimTime* sim_ns) {
+  const auto mechanism = fuzz::MechanismFromName(cli.mechanism);
+  if (!mechanism.ok()) {
+    std::fprintf(stderr, "unknown mechanism %s\n", cli.mechanism.c_str());
+    return 2;
+  }
+  const auto mode = fuzz::ExecModeFromName(cli.mode);
+  if (!mode.ok()) {
+    std::fprintf(stderr, "unknown mode %s\n", cli.mode.c_str());
+    return 2;
+  }
+  auto workload = CreateWorkload(cli.workload);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", cli.workload.c_str());
+    return 2;
+  }
+
+  RuntimeOptions opts;
+  opts.mode = *mode;
+  opts.units_per_device = cli.units;
+  opts.max_threads = cli.threads;
+  opts.pm_size = 512ull << 20;
+  opts.retain_crash_state = true;  // the sanitizer needs retire bookkeeping
+  opts.enforce_ppo = cli.enforce_ppo;
+  Runtime rt(opts);
+  rt.AttachSanitizer(san);
+  PoolArena arena(0);
+
+  WorkloadConfig wc;
+  wc.mechanism = *mechanism;
+  wc.threads = cli.threads;
+  wc.initial_keys = cli.initial_keys;
+  wc.seed = cli.seed;
+  Status st = workload->Setup(rt, arena, wc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup(%s) failed: %s\n", cli.workload.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  rt.DrainDevices(0);
+
+  Rng rng(cli.seed * 31 + 1);
+  for (std::uint64_t i = 0; i < cli.ops; ++i) {
+    const ThreadId t = static_cast<ThreadId>(i % cli.threads);
+    st = workload->RunOp(t, rng);
+    if (!st.ok()) {
+      std::fprintf(stderr, "op %llu failed: %s\n",
+                   static_cast<unsigned long long>(i), st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (int t = 0; t < cli.threads; ++t) {
+    rt.DrainDevices(static_cast<ThreadId>(t));
+  }
+  *sim_ns = rt.Now(0);
+  san->Finish(*sim_ns);
+  return 0;
+}
+
+// Replays every bank-kind repro in the corpus under a fresh sanitizer each.
+// Sound repros (PPO enforced, recovery intact) must be analyzer-clean;
+// enforce_ppo=false repros must fire at least one finding (teeth).
+// `summary_san` accumulates nothing here -- corpus mode reports per repro.
+int RunCorpus(const CliOptions& cli) {
+  const std::vector<std::string> files = fuzz::ListCorpus(cli.corpus);
+  if (files.empty()) {
+    std::fprintf(stderr, "no corpus files under %s\n", cli.corpus.c_str());
+    return 1;
+  }
+  int failures = 0;
+  std::size_t replayed = 0;
+  std::size_t skipped = 0;
+  for (const std::string& path : files) {
+    auto repro = fuzz::LoadRepro(path);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                   repro.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (repro->kind != "bank") {
+      // Serve-kind repros run one runtime per shard; the single-address-space
+      // sanitizer cannot span them (see DESIGN.md section 11).
+      ++skipped;
+      continue;
+    }
+    analyze::PmSanitizer san;
+    for (const std::string& spec : cli.suppressions) {
+      san.sink().Suppress(spec);
+    }
+    fuzz::FuzzConfig config = fuzz::CrashFuzzer::ConfigFromRepro(*repro);
+    config.sanitizer = &san;
+    const fuzz::CrashFuzzer fuzzer(config);
+    const fuzz::CaseResult result =
+        fuzzer.Run(fuzz::CrashFuzzer::CaseFromRepro(*repro));
+    ++replayed;
+
+    const bool expects_violation = repro->expect == "violation";
+    if (result.ok() == expects_violation) {
+      std::fprintf(stderr, "FAIL %s: replay verdict %s does not match "
+                   "expect=%s\n", path.c_str(),
+                   result.ok() ? "ok" : fuzz::FailureKindName(result.failure),
+                   repro->expect.c_str());
+      ++failures;
+      continue;
+    }
+
+    const std::uint64_t findings = san.sink().total_unsuppressed();
+    const bool sound = repro->enforce_ppo && !repro->break_recovery;
+    const char* verdict = "ok";
+    if (sound && findings > 0) {
+      verdict = "FAIL (findings on a sound repro)";
+      ++failures;
+    } else if (!repro->enforce_ppo && findings == 0) {
+      verdict = "FAIL (no finding on an enforce_ppo=false repro)";
+      ++failures;
+    }
+    if (!cli.quiet || std::strcmp(verdict, "ok") != 0) {
+      std::printf("%-6s %s: %llu finding(s)\n", verdict, path.c_str(),
+                  static_cast<unsigned long long>(findings));
+      if (findings > 0 && !cli.quiet) {
+        std::fputs(san.sink().RenderText().c_str(), stdout);
+      }
+    }
+  }
+  std::printf(
+      "corpus: %zu replayed, %zu serve-kind skipped, %d failure(s)\n",
+      replayed, skipped, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int AnalyzeMain(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    std::uint64_t n = 0;
+    if (MatchFlag(argv[i], "--workload", &value)) {
+      cli.workload = value;
+    } else if (MatchFlag(argv[i], "--mechanism", &value)) {
+      cli.mechanism = value;
+    } else if (MatchFlag(argv[i], "--mode", &value)) {
+      cli.mode = value;
+    } else if (MatchFlag(argv[i], "--ops", &value)) {
+      if (!ParseUint(value, &cli.ops)) return Usage(argv[0]);
+    } else if (MatchFlag(argv[i], "--threads", &value)) {
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.threads = static_cast<int>(n);
+    } else if (MatchFlag(argv[i], "--units", &value)) {
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.units = static_cast<int>(n);
+    } else if (MatchFlag(argv[i], "--initial-keys", &value)) {
+      if (!ParseUint(value, &cli.initial_keys)) return Usage(argv[0]);
+    } else if (MatchFlag(argv[i], "--seed", &value)) {
+      if (!ParseUint(value, &cli.seed)) return Usage(argv[0]);
+    } else if (MatchFlag(argv[i], "--enforce-ppo", &value)) {
+      if (!ParseUint(value, &n) || n > 1) return Usage(argv[0]);
+      cli.enforce_ppo = n != 0;
+    } else if (MatchFlag(argv[i], "--trace-in", &value)) {
+      cli.trace_in = value;
+    } else if (MatchFlag(argv[i], "--corpus", &value)) {
+      cli.corpus = value;
+    } else if (MatchFlag(argv[i], "--suppress", &value)) {
+      cli.suppressions.emplace_back(value);
+    } else if (std::strcmp(argv[i], "--expect-findings") == 0) {
+      cli.expect_findings = true;
+    } else if (MatchFlag(argv[i], "--sarif", &value)) {
+      cli.sarif_out = value;
+    } else if (MatchFlag(argv[i], "--json-out", &value)) {
+      cli.json_out = value;
+    } else if (MatchFlag(argv[i], "--bench-json", &value)) {
+      cli.bench_json = value;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      cli.quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!cli.corpus.empty()) {
+    return RunCorpus(cli);
+  }
+
+  analyze::PmSanitizer san;
+  for (const std::string& spec : cli.suppressions) {
+    if (!san.sink().Suppress(spec)) {
+      std::fprintf(stderr, "bad suppression spec: %s\n", spec.c_str());
+      return 2;
+    }
+  }
+
+  SimTime sim_ns = 0;
+  if (!cli.trace_in.empty()) {
+    std::ifstream in(cli.trace_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", cli.trace_in.c_str());
+      return 1;
+    }
+    std::vector<TraceEvent> events;
+    std::string error;
+    if (!ReadRawTrace(in, &events, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    for (const TraceEvent& e : events) {
+      sim_ns = std::max(sim_ns, e.ts + e.dur);
+    }
+    const analyze::TraceAnalysisStats ts = analyze::AnalyzeTrace(events, &san);
+    if (!cli.quiet) {
+      std::printf("trace: %llu event(s) replayed, %llu ignored\n",
+                  static_cast<unsigned long long>(ts.events),
+                  static_cast<unsigned long long>(ts.ignored));
+    }
+  } else {
+    const int rc = RunWorkloadAnalyzed(cli, &san, &sim_ns);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+
+  if (!cli.quiet) {
+    std::fputs(san.sink().RenderText().c_str(), stdout);
+  }
+  if (!cli.sarif_out.empty() &&
+      !WriteOutput(cli.sarif_out, san.sink().RenderSarif())) {
+    return 1;
+  }
+  if (!cli.json_out.empty() &&
+      !WriteOutput(cli.json_out, san.sink().RenderJson())) {
+    return 1;
+  }
+  if (!cli.bench_json.empty() &&
+      !WriteOutput(cli.bench_json, BenchJson(cli, san, sim_ns))) {
+    return 1;
+  }
+
+  const std::uint64_t findings = san.sink().total_unsuppressed();
+  if (cli.expect_findings) {
+    if (findings == 0) {
+      std::fprintf(stderr,
+                   "FAIL: --expect-findings but the analyzer reported "
+                   "nothing\n");
+      return 1;
+    }
+    return 0;
+  }
+  return findings == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nearpm
+
+int main(int argc, char** argv) { return nearpm::AnalyzeMain(argc, argv); }
