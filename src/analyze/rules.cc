@@ -39,6 +39,11 @@ constexpr std::array<RuleInfo, kNumRules> kRules = {{
      "epoch close, or end of run) were never flushed; their contents are "
      "not crash-consistent.",
      "error"},
+    {"NPM007", "doorbell-before-redo-persist",
+     "A replica's replay doorbell was rung while cache lines of the "
+     "one-sided redo record were still un-persisted; a crash can leave a "
+     "torn record behind an already-acknowledged doorbell.",
+     "error"},
 }};
 
 }  // namespace

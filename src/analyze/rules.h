@@ -17,6 +17,7 @@ enum class RuleId : std::uint8_t {
   kNpm004,      // commit-class command without cross-device sync
   kNpm005,      // redundant clwb/fence (performance lint)
   kNpm006,      // unflushed lines at a durability point / end of run
+  kNpm007,      // replica doorbell rung before the redo record persisted
   kCount,
 };
 

@@ -132,6 +132,17 @@ void PmSanitizer::OnCoherenceWriteback(ThreadId, AddrRange range) {
   }
 }
 
+void PmSanitizer::OnReplDoorbell(ThreadId t, AddrRange range, SimTime now,
+                                 const SourceLoc& loc) {
+  const std::uint64_t unpersisted = UnpersistedLinesIn(range);
+  if (unpersisted == 0) return;
+  std::ostringstream msg;
+  msg << "replica replay doorbell rung with " << unpersisted
+      << " redo-record line(s) still un-persisted " << DescribeRange(range)
+      << "; a crash can tear the record behind an acknowledged doorbell";
+  sink_.Report(RuleId::kNpm007, loc, t, now, range, msg.str());
+}
+
 void PmSanitizer::OnNdpCommand(ThreadId t, AddrRange read_range,
                                AddrRange write_range, SimTime now,
                                bool commit_class,

@@ -97,6 +97,13 @@ class PmSanitizer {
   void OnSyncMarker(std::uint64_t sync_id);
   void OnSyncComplete(std::uint64_t sync_id);
 
+  // ---- Replication hooks (src/serve + src/repl).
+  // A backup's NDP replay doorbell was rung for the one-sided redo record
+  // covering `range`. The record must be fully persisted first: the ack the
+  // doorbell implies promises durability, so un-persisted lines fire NPM007.
+  void OnReplDoorbell(ThreadId t, AddrRange range, SimTime now,
+                      const SourceLoc& loc = {});
+
   // ---- Mechanism-level hooks (pmlib providers via the heap).
   void OnOpBegin(ThreadId t);
   // An operation ended; if `durable` the provider guarantees everything the

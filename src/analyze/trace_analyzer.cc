@@ -102,6 +102,13 @@ TraceAnalysisStats AnalyzeTrace(std::vector<TraceEvent> events,
       case TracePhase::kOpCommit:
         san->OnOpEnd(e.tid, e.arg0 != 0, e.ts, loc);
         break;
+      case TracePhase::kReplDoorbell:
+        // tid on kTraceReplPid is the node index, not a CPU thread; the
+        // hook only needs the record range and the instant.
+        san->OnReplDoorbell(0, e.range, e.ts, loc);
+        break;
+      // kNetXfer / kNetDeliver are pure timing (no PM effects) and fall
+      // through to `ignored` with the other observability phases.
       default:
         ++stats.ignored;
         break;

@@ -70,7 +70,7 @@ std::string ReproToJson(const CrashRepro& repro) {
   }
   // "kind" is omitted for bank repros so pre-serve corpus files stay
   // byte-identical round-trip.
-  if (repro.kind != "bank") {
+  if (repro.kind == "serve") {
     obj["kind"] = JsonValue::String(repro.kind);
     obj["serve_shards"] = JsonValue::Uint(repro.serve_shards);
     obj["serve_warmup_ops"] = JsonValue::Uint(repro.serve_warmup_ops);
@@ -79,6 +79,21 @@ std::string ReproToJson(const CrashRepro& repro) {
     obj["serve_apply_ordinal"] = JsonValue::Uint(repro.serve_apply_ordinal);
     obj["serve_survive"] = JsonValue::Bool(repro.serve_survive);
     obj["serve_break_txn_redo"] = JsonValue::Bool(repro.serve_break_txn_redo);
+  } else if (repro.kind == "repl") {
+    obj["kind"] = JsonValue::String(repro.kind);
+    obj["serve_warmup_ops"] = JsonValue::Uint(repro.serve_warmup_ops);
+    obj["serve_txn_pairs"] = JsonValue::Uint(repro.serve_txn_pairs);
+    obj["repl_groups"] = JsonValue::Uint(repro.repl_groups);
+    obj["repl_replicas"] = JsonValue::Uint(repro.repl_replicas);
+    obj["repl_protocol"] = JsonValue::String(repro.repl_protocol);
+    obj["repl_phase"] = JsonValue::String(repro.repl_phase);
+    obj["repl_ordinal"] = JsonValue::Uint(repro.repl_ordinal);
+    obj["repl_crash_mask"] = JsonValue::Uint(repro.repl_crash_mask);
+    obj["repl_survive"] = JsonValue::Bool(repro.repl_survive);
+    obj["repl_break_intent_redo"] =
+        JsonValue::Bool(repro.repl_break_intent_redo);
+    obj["repl_skip_redo_persist"] =
+        JsonValue::Bool(repro.repl_skip_redo_persist);
   }
   return WriteJsonObject(obj);
 }
@@ -213,6 +228,52 @@ StatusOr<CrashRepro> ReproFromJson(const std::string& text) {
     if (repro.serve_shards == 0 || repro.serve_txn_pairs == 0) {
       return InvalidArgument("serve repro needs shards and txn pairs >= 1");
     }
+  } else if (repro.kind == "repl") {
+    for (const UintField& f :
+         {UintField{"serve_warmup_ops", &repro.serve_warmup_ops},
+          UintField{"serve_txn_pairs", &repro.serve_txn_pairs},
+          UintField{"repl_groups", &repro.repl_groups},
+          UintField{"repl_replicas", &repro.repl_replicas},
+          UintField{"repl_ordinal", &repro.repl_ordinal},
+          UintField{"repl_crash_mask", &repro.repl_crash_mask}}) {
+      auto v = Require(obj, f.key, JsonValue::Kind::kUint);
+      if (!v.ok()) {
+        return v.status();
+      }
+      *f.dst = (*v)->num;
+    }
+    for (const BoolField& f :
+         {BoolField{"repl_survive", &repro.repl_survive},
+          BoolField{"repl_break_intent_redo", &repro.repl_break_intent_redo},
+          BoolField{"repl_skip_redo_persist",
+                    &repro.repl_skip_redo_persist}}) {
+      auto v = Require(obj, f.key, JsonValue::Kind::kBool);
+      if (!v.ok()) {
+        return v.status();
+      }
+      *f.dst = (*v)->boolean;
+    }
+    auto protocol = Require(obj, "repl_protocol", JsonValue::Kind::kString);
+    if (!protocol.ok()) {
+      return protocol.status();
+    }
+    repro.repl_protocol = (*protocol)->str;
+    if (repro.repl_protocol != "pb" && repro.repl_protocol != "redo") {
+      return InvalidArgument("repl_protocol must be \"pb\" or \"redo\"");
+    }
+    auto phase = Require(obj, "repl_phase", JsonValue::Kind::kString);
+    if (!phase.ok()) {
+      return phase.status();
+    }
+    repro.repl_phase = (*phase)->str;
+    if (repro.repl_groups == 0 || repro.repl_replicas == 0 ||
+        repro.serve_txn_pairs == 0) {
+      return InvalidArgument("repl repro needs groups, replicas and txn "
+                             "pairs >= 1");
+    }
+    if (repro.repl_crash_mask == 0) {
+      return InvalidArgument("repl_crash_mask must name at least one node");
+    }
   } else if (repro.kind != "bank") {
     return InvalidArgument("unknown repro kind \"" + repro.kind + "\"");
   }
@@ -263,6 +324,31 @@ std::vector<std::string> ListCorpus(const std::string& dir) {
 }
 
 std::string ReproFileName(const CrashRepro& repro) {
+  if (repro.kind == "repl") {
+    std::string name = "repl_";
+    name += repro.repl_protocol;
+    name += "_";
+    name += ExecModeName(repro.mode);
+    if (!repro.enforce_ppo) {
+      name += "_noppo";
+    }
+    if (repro.break_recovery) {
+      name += "_skiprec";
+    }
+    if (repro.repl_break_intent_redo) {
+      name += "_brokenredo";
+    }
+    if (repro.repl_skip_redo_persist) {
+      name += "_nopersist";
+    }
+    name += "_s" + std::to_string(repro.seed);
+    name += "_" + repro.repl_phase;
+    name += std::to_string(repro.repl_ordinal);
+    name += "_m" + std::to_string(repro.repl_crash_mask);
+    name += repro.repl_survive ? "_surv" : "_drop";
+    name += ".json";
+    return name;
+  }
   if (repro.kind == "serve") {
     std::string name = "serve_";
     name += ExecModeName(repro.mode);

@@ -50,7 +50,7 @@ struct CrashRepro {
   // shared fields keep their meaning (seed, mode, enforce_ppo;
   // break_recovery maps to skip_recovery_replay) and the fields below pin
   // the transaction crash point.
-  std::string kind = "bank";  // "bank" | "serve"
+  std::string kind = "bank";  // "bank" | "serve" | "repl"
   std::uint64_t serve_shards = 3;
   std::uint64_t serve_warmup_ops = 6;   // committed single-shard puts first
   std::uint64_t serve_txn_pairs = 4;    // pairs in the crashed MultiPut
@@ -58,6 +58,24 @@ struct CrashRepro {
   std::uint64_t serve_apply_ordinal = 0;
   bool serve_survive = false;           // uniform pending-line survival
   bool serve_break_txn_redo = false;    // fault-injected intent redo
+
+  // ---- repl-kind repros -----------------------------------------------------
+  // kind "repl" replays a replicated-cluster crash through repl::ReplFuzzer:
+  // warmup through the replicated commit, one transaction abandoned at
+  // repl_phase/repl_ordinal, then a power failure on the node subset in
+  // repl_crash_mask (bit n = node n fails). The shared fields keep their
+  // meaning (seed, mode, enforce_ppo, crash_time as offset; break_recovery
+  // maps to skip_recovery_replay) and serve_warmup_ops/serve_txn_pairs size
+  // the schedule.
+  std::uint64_t repl_groups = 2;
+  std::uint64_t repl_replicas = 2;
+  std::string repl_protocol = "pb";   // ReplProtocolName: "pb" | "redo"
+  std::string repl_phase = "none";    // ReplStopPhase name
+  std::uint64_t repl_ordinal = 0;
+  std::uint64_t repl_crash_mask = 0;  // node subset that power-fails (!= 0)
+  bool repl_survive = false;          // uniform pending-line survival
+  bool repl_break_intent_redo = false;   // recovery scrubs without applying
+  bool repl_skip_redo_persist = false;   // one-sided records left unpersisted
 };
 
 // Name <-> enum helpers (canonical names from MechanismName/ExecModeName).

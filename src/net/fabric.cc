@@ -1,0 +1,101 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+namespace nearpm {
+namespace net {
+
+const char* MsgKindName(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kIntentShip:
+      return "intent_ship";
+    case MsgKind::kIntentAck:
+      return "intent_ack";
+    case MsgKind::kRedoWrite:
+      return "redo_write";
+    case MsgKind::kDoorbell:
+      return "doorbell";
+    case MsgKind::kSyncSignal:
+      return "sync_signal";
+    case MsgKind::kRetire:
+      return "retire";
+    case MsgKind::kPromote:
+      return "promote";
+    case MsgKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+Fabric::Fabric(const FabricOptions& options)
+    : options_(options), nodes_(std::max(options.nodes, 1)) {
+  links_.resize(static_cast<std::size_t>(nodes_) * nodes_);
+}
+
+Delivery Fabric::Send(int src, int dst, std::size_t bytes, SimTime earliest,
+                      MsgKind kind, std::uint64_t seq) {
+  std::lock_guard lock(mu_);
+  Delivery d;
+  d.link = LinkIndex(src, dst);
+  Timeline& link = links_[static_cast<std::size_t>(d.link)];
+  d.sent = std::max(link.free_at(), earliest);
+  const SimTime serialized =
+      link.Schedule(earliest, options_.cost.NetSerializeNs(bytes));
+  d.delivered = serialized + NsToTime(options_.cost.net_link_latency_ns);
+
+  ++messages_[static_cast<int>(kind)];
+  bytes_[static_cast<int>(kind)] += bytes;
+
+  TraceRecorder* trace = options_.trace;
+  NEARPM_TRACE_SPAN(trace, .phase = TracePhase::kNetXfer, .pid = kTraceNetPid,
+                    .tid = static_cast<std::uint32_t>(d.link), .ts = d.sent,
+                    .dur = serialized > d.sent ? serialized - d.sent : 1,
+                    .seq = seq, .arg0 = static_cast<std::uint64_t>(kind),
+                    .arg1 = bytes);
+  NEARPM_TRACE_EVENT(trace, .phase = TracePhase::kNetDeliver,
+                     .pid = kTraceReplPid,
+                     .tid = static_cast<std::uint32_t>(dst),
+                     .ts = d.delivered, .seq = seq,
+                     .arg0 = static_cast<std::uint64_t>(kind),
+                     .arg1 = bytes);
+  if (trace != nullptr) {
+    trace->metrics().Increment(std::string("net_msgs_") + MsgKindName(kind));
+    trace->metrics().Increment(std::string("net_bytes_") + MsgKindName(kind),
+                               bytes);
+  }
+  return d;
+}
+
+SimTime Fabric::LinkFreeAt(int src, int dst) const {
+  std::lock_guard lock(mu_);
+  return links_[static_cast<std::size_t>(LinkIndex(src, dst))].free_at();
+}
+
+std::uint64_t Fabric::MessagesSent(MsgKind kind) const {
+  std::lock_guard lock(mu_);
+  return messages_[static_cast<int>(kind)];
+}
+
+std::uint64_t Fabric::BytesSent(MsgKind kind) const {
+  std::lock_guard lock(mu_);
+  return bytes_[static_cast<int>(kind)];
+}
+
+std::uint64_t Fabric::total_messages() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t m : messages_) {
+    total += m;
+  }
+  return total;
+}
+
+void Fabric::Reset() {
+  std::lock_guard lock(mu_);
+  for (Timeline& link : links_) {
+    link.Reset();
+  }
+}
+
+}  // namespace net
+}  // namespace nearpm

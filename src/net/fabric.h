@@ -1,0 +1,105 @@
+// Simulated replication network fabric.
+//
+// The fabric is a mesh of directed point-to-point links between replica
+// nodes, each modeled exactly like the PCIe command path: a sim::Timeline
+// per link serializes framed messages (payload + frame overhead at the
+// link's bytes/ns rate, messages queue behind each other), then a fixed
+// propagation latency is paid before delivery. All constants live in
+// sim::CostModel (net_*), so experiments can sweep link speed the same way
+// they sweep PM latency.
+//
+// Every Send() is observable: a kNetXfer span occupies the directed link's
+// trace track (pid = kTraceNetPid, tid = link index) -- the profiler folds
+// these into per-link duty cycles -- and a kNetDeliver instant lands on the
+// destination node's replication track. Per-kind message/byte counters feed
+// the attached recorder's MetricsRegistry.
+//
+// The fabric only advances virtual time; it moves no bytes itself. Callers
+// (src/repl) couple the returned delivery time into the receiver's clock
+// with Runtime::WaitUntil and perform the actual PM effects there.
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/timeline.h"
+#include "src/trace/recorder.h"
+
+namespace nearpm {
+namespace net {
+
+// Replication RPC vocabulary. One message = one frame on a link.
+enum class MsgKind : std::uint8_t {
+  kIntentShip = 0,  // primary-backup: framed intent/log record to a backup
+  kIntentAck,       // backup -> primary: record durable (+ applied, for pb)
+  kRedoWrite,       // one-sided: redo record written into the backup's PM
+  kDoorbell,        // one-sided: doorbell ring after the record is durable
+  kSyncSignal,      // cross-group completion exchange (sync machines)
+  kRetire,          // intent invalidation shipped to a backup
+  kPromote,         // failover: promotion announcement to survivors
+  kCount,
+};
+
+const char* MsgKindName(MsgKind kind);
+
+struct FabricOptions {
+  int nodes = 1;
+  CostModel cost;
+  // Optional observer for kNetXfer/kNetDeliver events and message counters.
+  // Not owned; may be null. Typically the fabric gets its own recorder so
+  // link tracks do not interleave with any single node's trace.
+  TraceRecorder* trace = nullptr;
+};
+
+// The outcome of one message send.
+struct Delivery {
+  SimTime sent = 0;       // serialization started on the link
+  SimTime delivered = 0;  // message available at the destination
+  int link = -1;          // directed link index (src * nodes + dst)
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricOptions& options);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Occupies the src->dst link with one framed message of `bytes` payload
+  // starting no earlier than `earliest` (the sender's clock). Thread-safe:
+  // worker threads of different shards may share the fabric.
+  Delivery Send(int src, int dst, std::size_t bytes, SimTime earliest,
+                MsgKind kind, std::uint64_t seq = 0);
+
+  int nodes() const { return nodes_; }
+  int LinkIndex(int src, int dst) const { return src * nodes_ + dst; }
+
+  // When the directed link next becomes free (its Timeline cursor).
+  SimTime LinkFreeAt(int src, int dst) const;
+
+  std::uint64_t MessagesSent(MsgKind kind) const;
+  std::uint64_t BytesSent(MsgKind kind) const;
+  std::uint64_t total_messages() const;
+
+  const CostModel& cost() const { return options_.cost; }
+  TraceRecorder* trace() const { return options_.trace; }
+
+  // Forgets all link occupancy (fresh virtual clocks after a crash epoch).
+  void Reset();
+
+ private:
+  FabricOptions options_;
+  int nodes_;
+  mutable std::mutex mu_;
+  std::vector<Timeline> links_;  // nodes * nodes, directed
+  std::uint64_t messages_[static_cast<int>(MsgKind::kCount)] = {};
+  std::uint64_t bytes_[static_cast<int>(MsgKind::kCount)] = {};
+};
+
+}  // namespace net
+}  // namespace nearpm
+
+#endif  // SRC_NET_FABRIC_H_

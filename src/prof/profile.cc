@@ -306,9 +306,13 @@ Profile BuildProfile(const TraceRecorder& recorder,
 void ExportResourceMetrics(const Profile& profile, MetricsRegistry* registry,
                            const std::string& prefix,
                            const std::string& extra_labels) {
+  // Track names ("network fabric / link 0->1", "serve front end / worker")
+  // are arbitrary strings; they ride as label values and must be escaped per
+  // the Prometheus exposition rules.
   for (const ResourceUsage& usage : profile.resources) {
     const std::string labels =
-        "{" + extra_labels + "resource=\"" + usage.name + "\"}";
+        "{" + extra_labels + "resource=\"" + EscapeLabelValue(usage.name) +
+        "\"}";
     registry->SetGauge(prefix + "duty" + labels, usage.duty());
     registry->SetGauge(prefix + "busy_ns" + labels,
                        static_cast<double>(usage.busy_ns));
@@ -316,7 +320,8 @@ void ExportResourceMetrics(const Profile& profile, MetricsRegistry* registry,
   for (const OccupancySeries& series : profile.occupancy) {
     const std::string labels = "{" + extra_labels + "series=\"" +
                                TracePhaseName(series.phase) +
-                               "\",resource=\"" + series.name + "\"}";
+                               "\",resource=\"" +
+                               EscapeLabelValue(series.name) + "\"}";
     registry->SetGauge(prefix + "occupancy_mean" + labels, series.mean);
     registry->SetGauge(prefix + "occupancy_max" + labels,
                        static_cast<double>(series.max));

@@ -1,0 +1,524 @@
+#include "src/repl/repl_fuzzer.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "src/analyze/sanitizer.h"
+#include "src/analyze/trace_analyzer.h"
+#include "src/serve/router.h"
+
+namespace nearpm {
+namespace repl {
+namespace {
+
+using serve::ShardRouter;
+
+// Key ranges are disjoint by construction so the oracles never alias:
+// warmup in [1000, 2000), txn in [10000, 11000).
+std::uint64_t WarmupKey(std::uint64_t seed, std::uint64_t i) {
+  return 1000 +
+         ShardRouter::Mix(seed ^ (0x9E3779B97F4A7C15ull * (i + 1))) % 997;
+}
+
+std::uint64_t TxnKey(std::uint64_t seed, std::uint64_t j) {
+  return 10000 + j * 97 + ShardRouter::Mix(seed) % 89;
+}
+
+ReplCaseResult Fail(ReplFailureKind kind, std::string detail) {
+  ReplCaseResult result;
+  result.failure = kind;
+  result.detail = std::move(detail);
+  return result;
+}
+
+// Deterministic value payload: generation distinguishes warmup (0), the
+// crashed txn (1) and post-recovery traffic (2).
+std::vector<std::uint8_t> MakeValue(const ReplFuzzConfig& config,
+                                    std::uint64_t seed, std::uint64_t key,
+                                    std::uint64_t generation) {
+  const std::uint64_t base =
+      ShardRouter::Mix(seed ^ (key * 3 + 1) ^ (generation << 56));
+  std::vector<std::uint8_t> value(config.value_size);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::uint8_t>((base >> ((i % 8) * 8)) ^ i);
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* ReplFailureKindName(ReplFailureKind kind) {
+  switch (kind) {
+    case ReplFailureKind::kNone:
+      return "none";
+    case ReplFailureKind::kHarness:
+      return "harness";
+    case ReplFailureKind::kFailoverError:
+      return "failover_error";
+    case ReplFailureKind::kRecoverError:
+      return "recover_error";
+    case ReplFailureKind::kLostCommitted:
+      return "lost_committed";
+    case ReplFailureKind::kTornTxn:
+      return "torn_txn";
+    case ReplFailureKind::kDivergentReplica:
+      return "divergent_replica";
+    case ReplFailureKind::kDoorbellHazard:
+      return "doorbell_hazard";
+    case ReplFailureKind::kPpoViolation:
+      return "ppo_violation";
+    case ReplFailureKind::kPostRecoveryMismatch:
+      return "post_recovery_mismatch";
+  }
+  return "unknown";
+}
+
+const char* ReplFuzzer::PhaseName(ReplStopPhase phase) {
+  switch (phase) {
+    case ReplStopPhase::kNone:
+      return "none";
+    case ReplStopPhase::kAfterIntent:
+      return "after_intent";
+    case ReplStopPhase::kMidReplicate:
+      return "mid_replicate";
+    case ReplStopPhase::kAfterReplicate:
+      return "after_replicate";
+    case ReplStopPhase::kMidApply:
+      return "mid_apply";
+    case ReplStopPhase::kAfterApply:
+      return "after_apply";
+    case ReplStopPhase::kAfterSync:
+      return "after_sync";
+  }
+  return "unknown";
+}
+
+StatusOr<ReplStopPhase> ReplFuzzer::PhaseFromName(const std::string& name) {
+  for (ReplStopPhase phase :
+       {ReplStopPhase::kNone, ReplStopPhase::kAfterIntent,
+        ReplStopPhase::kMidReplicate, ReplStopPhase::kAfterReplicate,
+        ReplStopPhase::kMidApply, ReplStopPhase::kAfterApply,
+        ReplStopPhase::kAfterSync}) {
+    if (name == PhaseName(phase)) {
+      return phase;
+    }
+  }
+  return InvalidArgument("unknown repl stop phase \"" + name + "\"");
+}
+
+int ReplFuzzer::ParticipantCount(const ReplFuzzCase& c) const {
+  ShardRouter router(config_.groups, config_.replicas);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t j = 0; j < c.txn_pairs; ++j) {
+    keys.push_back(TxnKey(c.seed, j));
+  }
+  return static_cast<int>(router.ParticipantsFor(keys).size());
+}
+
+// Everything Run shares across its stages: the cluster with the schedule's
+// prefix executed, plus the reference data the oracles compare against.
+struct ReplFuzzer::PrefixEnv {
+  std::unique_ptr<ReplicatedKvService> service;
+  // Final expected value per warmup key (later puts overwrite earlier).
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> warmup;
+  std::vector<KvPair> pairs;  // the crashed transaction
+};
+
+Status ReplFuzzer::ExecutePrefix(const ReplFuzzCase& c,
+                                 PrefixEnv* env) const {
+  if (c.txn_pairs == 0 || c.txn_pairs > Shard::kMaxTxnPairs) {
+    return InvalidArgument("txn_pairs out of range");
+  }
+
+  ReplOptions ro;
+  ro.groups = config_.groups;
+  ro.replicas = config_.replicas;
+  ro.protocol = config_.protocol;
+  ro.workers_per_shard = 1;
+  ro.queue_capacity = c.warmup_ops + 16;
+  ro.batch_max = 4;
+  ro.mode = config_.mode;
+  ro.enforce_ppo = config_.enforce_ppo;
+  ro.skip_recovery_replay = config_.skip_recovery_replay;
+  ro.break_intent_redo = config_.break_intent_redo;
+  ro.skip_redo_persist = config_.skip_redo_persist;
+  ro.table_slots = config_.table_slots;
+  ro.value_size = config_.value_size;
+  auto service_or = ReplicatedKvService::Create(ro);
+  if (!service_or.ok()) {
+    return service_or.status();
+  }
+  env->service = std::move(*service_or);
+  ReplicatedKvService& svc = *env->service;
+
+  // ---- Warmup: puts through the queue path. Every one rides the full
+  // replicated commit (intent + replicate + apply + retire), so by the time
+  // Pump returns they are acked and durable on every replica -- nothing
+  // here may ever be lost, on any replica.
+  for (std::uint64_t i = 0; i < c.warmup_ops; ++i) {
+    const std::uint64_t key = WarmupKey(c.seed, i);
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = MakeValue(config_, c.seed, key, 0);
+    auto fut = svc.Submit(std::move(req));
+    if (!fut.ok()) {
+      return fut.status();
+    }
+    bool replaced = false;
+    for (auto& [wkey, wvalue] : env->warmup) {
+      if (wkey == key) {
+        wvalue = MakeValue(config_, c.seed, key, 0);
+        replaced = true;
+      }
+    }
+    if (!replaced) {
+      env->warmup.emplace_back(key, MakeValue(config_, c.seed, key, 0));
+    }
+  }
+  svc.Pump();
+
+  // ---- The replicated transaction, abandoned mid-protocol.
+  for (std::uint64_t j = 0; j < c.txn_pairs; ++j) {
+    KvPair pair;
+    pair.key = TxnKey(c.seed, j);
+    pair.value = MakeValue(config_, c.seed, pair.key, 1);
+    env->pairs.push_back(std::move(pair));
+  }
+  ReplStop stop;
+  stop.phase = c.phase;
+  stop.ordinal = c.ordinal;
+  const Status txn_status = svc.ExecuteReplicatedTxn(env->pairs, stop);
+  if (c.phase == ReplStopPhase::kNone) {
+    if (!txn_status.ok()) {
+      return Internal("txn failed: " + txn_status.ToString());
+    }
+  } else if (txn_status.code() != StatusCode::kUnavailable) {
+    return Internal("stop did not fire: " + txn_status.ToString());
+  }
+  return Status::Ok();
+}
+
+ReplCaseResult ReplFuzzer::Run(const ReplFuzzCase& c) const {
+  PrefixEnv env;
+  Status prefix = ExecutePrefix(c, &env);
+  if (!prefix.ok()) {
+    return Fail(ReplFailureKind::kHarness, "harness: " + prefix.ToString());
+  }
+  ReplicatedKvService& svc = *env.service;
+  const int nodes = svc.num_nodes();
+
+  // ---- Power failure on the node subset the mask names, offset into each
+  // crashed node's own timeline.
+  const std::uint64_t mask =
+      c.crash_mask & ((nodes >= 64 ? ~0ull : (1ull << nodes) - 1));
+  if (mask == 0) {
+    return Fail(ReplFailureKind::kHarness,
+                "harness: crash mask selects no node");
+  }
+  std::vector<int> crash_nodes;
+  std::vector<CrashPlan> plans;
+  for (int n = 0; n < nodes; ++n) {
+    if ((mask & (1ull << n)) == 0) {
+      continue;
+    }
+    Shard& shard = svc.node(n);
+    std::lock_guard lock(shard.mu());
+    const std::uint64_t pending = shard.rt().space().PendingLineAddrs().size();
+    CrashPlan plan;
+    plan.crash_time = c.crash_offset == 0
+                          ? 0  // right now
+                          : shard.rt().stats().MaxThreadTime() + c.crash_offset;
+    plan.line_survival.assign(pending, c.lines_survive);
+    crash_nodes.push_back(n);
+    plans.push_back(std::move(plan));
+  }
+  svc.CrashReplicas(crash_nodes, plans);
+
+  if (config_.trace_sink != nullptr) {
+    config_.trace_sink->clear();
+    for (int n = 0; n < nodes; ++n) {
+      config_.trace_sink->push_back(svc.node(n).recorder().Snapshot());
+    }
+  }
+
+  // ---- Failover: every group whose routed primary died but that still has
+  // a live replica promotes it, and the promoted backup must serve every
+  // acked key of its group exactly -- before any node recovers.
+  std::vector<bool> failed_over(svc.num_groups(), false);
+  for (int g = 0; g < svc.num_groups(); ++g) {
+    if (svc.alive(svc.router().PrimaryNodeFor(g))) {
+      continue;
+    }
+    bool any_live = false;
+    for (int r = 0; r < svc.options().replicas; ++r) {
+      any_live = any_live || svc.alive(svc.router().NodeFor(g, r));
+    }
+    if (!any_live) {
+      continue;  // whole group down; only RecoverAll can bring it back
+    }
+    const Status promoted = svc.Failover(g);
+    if (!promoted.ok()) {
+      return Fail(ReplFailureKind::kFailoverError,
+                  "group " + std::to_string(g) + ": " + promoted.ToString());
+    }
+    failed_over[g] = true;
+  }
+  for (const auto& [key, value] : env.warmup) {
+    const int g = svc.router().ShardFor(key);
+    if (!failed_over[g]) {
+      continue;
+    }
+    auto got = svc.Read(key);
+    if (!got.ok() || *got != value) {
+      return Fail(ReplFailureKind::kFailoverError,
+                  "promoted backup of group " + std::to_string(g) +
+                      " misserves acked key " + std::to_string(key) + ": " +
+                      (got.ok() ? "wrong value" : got.status().ToString()));
+    }
+  }
+
+  // ---- Recovery of every crashed node, then union reconciliation.
+  const Status recovered = svc.RecoverAll();
+  if (!recovered.ok()) {
+    return Fail(ReplFailureKind::kRecoverError, recovered.ToString());
+  }
+
+  auto read_replica = [&svc](int group, int replica, std::uint64_t key) {
+    Shard& shard = svc.node(group, replica);
+    std::lock_guard lock(shard.mu());
+    return shard.Get(shard.TxnTid(), key);
+  };
+
+  // ---- Oracle: acked warmup data survives bit-for-bit on EVERY replica.
+  for (const auto& [key, value] : env.warmup) {
+    const int g = svc.router().ShardFor(key);
+    for (int r = 0; r < svc.options().replicas; ++r) {
+      auto got = read_replica(g, r, key);
+      if (!got.ok() || *got != value) {
+        return Fail(ReplFailureKind::kLostCommitted,
+                    "warmup key " + std::to_string(key) + " on node " +
+                        std::to_string(svc.router().NodeFor(g, r)) + ": " +
+                        (got.ok() ? "wrong value" : got.status().ToString()));
+      }
+    }
+  }
+
+  // ---- Oracle: the transaction is all-or-nothing -- and because every
+  // stop phase lies after the coordinator intent drained durable, recovery
+  // must land the whole transaction on every replica of every owner.
+  std::uint64_t applied = 0;
+  std::uint64_t expected = 0;
+  for (const KvPair& pair : env.pairs) {
+    const int g = svc.router().ShardFor(pair.key);
+    for (int r = 0; r < svc.options().replicas; ++r) {
+      ++expected;
+      auto got = read_replica(g, r, pair.key);
+      if (got.ok() && *got == pair.value) {
+        ++applied;
+      }
+    }
+  }
+  if (applied != expected) {
+    return Fail(ReplFailureKind::kTornTxn,
+                "txn recovered " + std::to_string(applied) + "/" +
+                    std::to_string(expected) +
+                    " replica copies despite a durable intent");
+  }
+
+  // ---- Oracle: replicas of each group converged bit-for-bit.
+  for (int g = 0; g < svc.num_groups(); ++g) {
+    auto reference = svc.DumpReplica(g, 0);
+    if (!reference.ok()) {
+      return Fail(ReplFailureKind::kHarness,
+                  "harness: dump: " + reference.status().ToString());
+    }
+    for (int r = 1; r < svc.options().replicas; ++r) {
+      auto image = svc.DumpReplica(g, r);
+      if (!image.ok()) {
+        return Fail(ReplFailureKind::kHarness,
+                    "harness: dump: " + image.status().ToString());
+      }
+      bool same = reference->size() == image->size();
+      for (std::size_t i = 0; same && i < reference->size(); ++i) {
+        same = (*reference)[i].key == (*image)[i].key &&
+               (*reference)[i].value == (*image)[i].value;
+      }
+      if (!same) {
+        return Fail(ReplFailureKind::kDivergentReplica,
+                    "group " + std::to_string(g) + ": replica " +
+                        std::to_string(r) + " diverges from replica 0 (" +
+                        std::to_string(reference->size()) + " vs " +
+                        std::to_string(image->size()) + " keys)");
+      }
+    }
+  }
+
+  // ---- Oracle: no doorbell raced its redo record (NPM007). Each node's
+  // trace replays through the PM-Sanitizer; only the replication rule
+  // counts here -- the other rules have their own drivers.
+  for (int n = 0; n < nodes; ++n) {
+    Shard& shard = svc.node(n);
+    std::lock_guard lock(shard.mu());
+    analyze::PmSanitizer san;
+    analyze::AnalyzeTrace(shard.recorder().Snapshot(), &san);
+    const std::uint64_t hazards = san.sink().count(analyze::RuleId::kNpm007);
+    if (hazards > 0) {
+      return Fail(ReplFailureKind::kDoorbellHazard,
+                  "node " + std::to_string(n) + ": " +
+                      std::to_string(hazards) +
+                      " doorbell(s) rung before the record persisted");
+    }
+  }
+
+  // ---- Oracle: the Section 4 PPO invariants hold on every node's trace.
+  std::string report;
+  const std::uint64_t violations = svc.PpoViolations(&report);
+  if (violations > 0) {
+    return Fail(ReplFailureKind::kPpoViolation,
+                std::to_string(violations) + " violation(s)\n" + report);
+  }
+
+  // ---- Oracle: the recovered cluster still serves correctly.
+  std::vector<KvPair> again;
+  for (const KvPair& pair : env.pairs) {
+    KvPair next;
+    next.key = pair.key;
+    next.value = MakeValue(config_, c.seed, pair.key, 2);
+    again.push_back(std::move(next));
+  }
+  const Status again_status = svc.ExecuteReplicatedTxn(again);
+  if (!again_status.ok()) {
+    return Fail(ReplFailureKind::kPostRecoveryMismatch,
+                "post-recovery txn: " + again_status.ToString());
+  }
+  for (const KvPair& pair : again) {
+    auto got = svc.Read(pair.key);
+    if (!got.ok() || *got != pair.value) {
+      return Fail(ReplFailureKind::kPostRecoveryMismatch,
+                  "post-recovery key " + std::to_string(pair.key) + ": " +
+                      (got.ok() ? "wrong value" : got.status().ToString()));
+    }
+  }
+  return ReplCaseResult{};
+}
+
+fuzz::SweepStats ReplFuzzer::Systematic(
+    std::uint64_t seed, std::vector<ReplFuzzFailure>* failures) const {
+  ReplFuzzCase base;
+  base.seed = seed;
+  const int k = ParticipantCount(base);
+  const int backups = config_.replicas - 1;
+  const int nodes = config_.groups * config_.replicas;
+  const std::uint64_t masks = nodes >= 64 ? ~0ull : (1ull << nodes) - 1;
+
+  std::vector<ReplFuzzCase> cases;
+  for (ReplStopPhase phase :
+       {ReplStopPhase::kNone, ReplStopPhase::kAfterIntent,
+        ReplStopPhase::kMidReplicate, ReplStopPhase::kAfterReplicate,
+        ReplStopPhase::kMidApply, ReplStopPhase::kAfterApply,
+        ReplStopPhase::kAfterSync}) {
+    int ordinals = 1;
+    if (phase == ReplStopPhase::kMidReplicate) {
+      ordinals = backups;
+      if (ordinals == 0) {
+        continue;  // unreplicated cluster: no mid-replicate point exists
+      }
+    } else if (phase == ReplStopPhase::kMidApply ||
+               phase == ReplStopPhase::kAfterApply) {
+      ordinals = k;
+    }
+    for (int ordinal = 0; ordinal < ordinals; ++ordinal) {
+      for (std::uint64_t mask = 1; mask <= masks; ++mask) {
+        for (bool survive : {false, true}) {
+          ReplFuzzCase c = base;
+          c.phase = phase;
+          c.ordinal = ordinal;
+          c.crash_mask = mask;
+          c.lines_survive = survive;
+          cases.push_back(c);
+        }
+      }
+    }
+  }
+
+  fuzz::SweepStats stats;
+  for (const ReplFuzzCase& c : cases) {
+    ++stats.cases;
+    ReplCaseResult result = Run(c);
+    if (!result.ok()) {
+      ++stats.failures;
+      if (failures != nullptr) {
+        failures->push_back(ReplFuzzFailure{c, std::move(result)});
+      }
+    }
+  }
+  return stats;
+}
+
+fuzz::CrashRepro ReplFuzzer::ToRepro(const ReplFuzzCase& c,
+                                     const std::string& expect,
+                                     const std::string& note) const {
+  fuzz::CrashRepro repro;
+  repro.kind = "repl";
+  repro.mechanism = Mechanism::kLogging;  // the serving tier is pinned
+  repro.mode = config_.mode;
+  repro.enforce_ppo = config_.enforce_ppo;
+  repro.break_recovery = config_.skip_recovery_replay;
+  repro.seed = c.seed;
+  repro.total_ops = 1;  // bank-schedule fields are inert for repl repros
+  repro.crash_step = 0;
+  repro.crash_time = c.crash_offset;
+  repro.serve_warmup_ops = c.warmup_ops;
+  repro.serve_txn_pairs = c.txn_pairs;
+  repro.repl_groups = static_cast<std::uint64_t>(config_.groups);
+  repro.repl_replicas = static_cast<std::uint64_t>(config_.replicas);
+  repro.repl_protocol = ReplProtocolName(config_.protocol);
+  repro.repl_phase = PhaseName(c.phase);
+  repro.repl_ordinal = static_cast<std::uint64_t>(c.ordinal);
+  repro.repl_crash_mask = c.crash_mask;
+  repro.repl_survive = c.lines_survive;
+  repro.repl_break_intent_redo = config_.break_intent_redo;
+  repro.repl_skip_redo_persist = config_.skip_redo_persist;
+  repro.expect = expect;
+  repro.note = note;
+  return repro;
+}
+
+ReplFuzzConfig ReplFuzzer::ConfigFromRepro(const fuzz::CrashRepro& repro) {
+  ReplFuzzConfig config;
+  config.groups = static_cast<int>(repro.repl_groups);
+  config.replicas = static_cast<int>(repro.repl_replicas);
+  if (auto protocol = ReplProtocolFromName(repro.repl_protocol);
+      protocol.ok()) {
+    config.protocol = *protocol;
+  }
+  config.mode = repro.mode;
+  config.enforce_ppo = repro.enforce_ppo;
+  config.skip_recovery_replay = repro.break_recovery;
+  config.break_intent_redo = repro.repl_break_intent_redo;
+  config.skip_redo_persist = repro.repl_skip_redo_persist;
+  return config;
+}
+
+StatusOr<ReplFuzzCase> ReplFuzzer::CaseFromRepro(
+    const fuzz::CrashRepro& repro) {
+  auto phase = PhaseFromName(repro.repl_phase);
+  if (!phase.ok()) {
+    return phase.status();
+  }
+  ReplFuzzCase c;
+  c.seed = repro.seed;
+  c.warmup_ops = repro.serve_warmup_ops;
+  c.txn_pairs = repro.serve_txn_pairs;
+  c.phase = *phase;
+  c.ordinal = static_cast<int>(repro.repl_ordinal);
+  c.crash_mask = repro.repl_crash_mask;
+  c.crash_offset = repro.crash_time;
+  c.lines_survive = repro.repl_survive;
+  return c;
+}
+
+}  // namespace repl
+}  // namespace nearpm

@@ -1,0 +1,149 @@
+// Crash-state fuzzing for the replicated serving tier: the multi-node
+// analogue of src/serve/serve_fuzzer.h.
+//
+// Every case is fully deterministic: a seeded warmup (puts committed through
+// the replicated commit, so they are acked and durable on every replica),
+// one replicated transaction abandoned at a chosen ReplStopPhase, then a
+// power failure on an arbitrary *subset* of nodes (the crash mask -- the
+// sweep enumerates every non-empty subset) with a uniform pending-line
+// survival mask, failover for groups whose routed primary died, and
+// RecoverAll().
+//
+// Oracles:
+//  * a promoted backup must serve every acked key exactly (kFailoverError);
+//  * recovery must succeed on every node (kRecoverError);
+//  * acked warmup data must survive bit-for-bit on EVERY replica of its
+//    owning group (kLostCommitted);
+//  * the crashed transaction must be all-or-nothing -- and since every stop
+//    phase lies after the coordinator intent became durable, recovery's
+//    union reconciliation must land the whole transaction on every replica
+//    (kTornTxn; catches break_intent_redo);
+//  * after recovery all replicas of a group must hold bit-identical tables
+//    (kDivergentReplica);
+//  * replaying every node's trace through the PM-Sanitizer must report no
+//    NPM007 doorbell-before-persist hazard (kDoorbellHazard; catches
+//    skip_redo_persist, where the one-sided ack races the record);
+//  * the recorded traces must satisfy the Section 4 PPO invariants
+//    (kPpoViolation);
+//  * the recovered cluster must serve fresh replicated transactions exactly
+//    (kPostRecoveryMismatch).
+#ifndef SRC_REPL_REPL_FUZZER_H_
+#define SRC_REPL_REPL_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_fuzzer.h"
+#include "src/repl/service.h"
+
+namespace nearpm {
+namespace repl {
+
+struct ReplFuzzConfig {
+  int groups = 2;
+  int replicas = 2;
+  ReplProtocol protocol = ReplProtocol::kPrimaryBackup;
+  ExecMode mode = ExecMode::kNdpMultiDelayed;
+  bool enforce_ppo = true;
+  bool skip_recovery_replay = false;  // ablation: broken hardware replay
+  bool break_intent_redo = false;     // ablation: intents scrubbed, not redone
+  bool skip_redo_persist = false;     // ablation: one-sided ack races record
+  std::uint32_t table_slots = 64;
+  std::uint32_t value_size = 32;
+  // When set, Run() deposits each node's full trace snapshot (warmup, the
+  // stopped txn, the crash) here, one vector per node -- offline rule-engine
+  // replay (nearpm_analyze --corpus) runs one sanitizer per snapshot.
+  std::vector<std::vector<TraceEvent>>* trace_sink = nullptr;
+};
+
+// One deterministic crash schedule. Keys and values derive from the seed;
+// the stop phase pins where inside the replicated protocol the power fails
+// and the crash mask pins which nodes fail (bit n = node n).
+struct ReplFuzzCase {
+  std::uint64_t seed = 1;
+  std::uint64_t warmup_ops = 6;  // acked replicated puts before the txn
+  std::uint64_t txn_pairs = 4;   // pairs in the crashed transaction
+  ReplStopPhase phase = ReplStopPhase::kNone;
+  int ordinal = 0;  // backup index (kMidReplicate) / participant ordinal
+  std::uint64_t crash_mask = ~0ull;  // clipped to the node count; != 0
+  // Failure instant as an offset from each crashed node's own clock at the
+  // stop point (0 = "right now").
+  std::uint64_t crash_offset = 0;
+  bool lines_survive = false;  // uniform survival for every pending CPU line
+};
+
+enum class ReplFailureKind : std::uint8_t {
+  kNone = 0,
+  kHarness,               // the schedule itself could not be executed
+  kFailoverError,         // promotion failed or a promoted backup misserved
+  kRecoverError,          // RecoverAll returned an error
+  kLostCommitted,         // acked data missing or wrong on some replica
+  kTornTxn,               // the txn recovered partially despite its intent
+  kDivergentReplica,      // replicas of one group disagree bit-for-bit
+  kDoorbellHazard,        // NPM007: a doorbell raced its redo record
+  kPpoViolation,          // a node trace violates a Section 4 invariant
+  kPostRecoveryMismatch,  // the recovered cluster misbehaves afterwards
+};
+
+const char* ReplFailureKindName(ReplFailureKind kind);
+
+struct ReplCaseResult {
+  ReplFailureKind failure = ReplFailureKind::kNone;
+  std::string detail;
+
+  bool ok() const { return failure == ReplFailureKind::kNone; }
+};
+
+struct ReplFuzzFailure {
+  ReplFuzzCase fuzz_case;
+  ReplCaseResult result;
+};
+
+class ReplFuzzer {
+ public:
+  explicit ReplFuzzer(const ReplFuzzConfig& config) : config_(config) {}
+
+  const ReplFuzzConfig& config() const { return config_; }
+
+  // Executes the case end to end (warmup, txn, crash, failover, recovery,
+  // oracles).
+  ReplCaseResult Run(const ReplFuzzCase& c) const;
+
+  // Participant group count of the transaction the case derives (the
+  // ordinal range the *Apply stop phases can target).
+  int ParticipantCount(const ReplFuzzCase& c) const;
+
+  // Exhaustive sweep of one schedule: every stop phase, every ordinal the
+  // phase can target, every non-empty node subset as the crash mask, under
+  // the all-drop and all-survive masks. Appends failing cases to `failures`
+  // when non-null.
+  fuzz::SweepStats Systematic(std::uint64_t seed,
+                              std::vector<ReplFuzzFailure>* failures) const;
+
+  // Corpus glue (kind == "repl"): break_recovery maps to
+  // skip_recovery_replay, crash_time to crash_offset.
+  fuzz::CrashRepro ToRepro(const ReplFuzzCase& c, const std::string& expect,
+                           const std::string& note) const;
+  static ReplFuzzConfig ConfigFromRepro(const fuzz::CrashRepro& repro);
+  static StatusOr<ReplFuzzCase> CaseFromRepro(const fuzz::CrashRepro& repro);
+
+  static const char* PhaseName(ReplStopPhase phase);
+  static StatusOr<ReplStopPhase> PhaseFromName(const std::string& name);
+
+ private:
+  struct PrefixEnv;
+
+  // Warmup + the stopped transaction inside a fresh cluster; harness errors
+  // surface as a non-ok Status.
+  Status ExecutePrefix(const ReplFuzzCase& c, PrefixEnv* env) const;
+
+  ReplFuzzConfig config_;
+};
+
+}  // namespace repl
+}  // namespace nearpm
+
+#endif  // SRC_REPL_REPL_FUZZER_H_

@@ -6,6 +6,12 @@
 // and well mixed (adjacent keys land on different shards, so a MultiPut over
 // a small key neighbourhood still exercises the cross-shard path), hence a
 // splitmix64 finalizer rather than a plain modulo of the raw key.
+//
+// With replication (src/repl), a "shard" index names a *replica group* of K
+// nodes; node ids are dense (group * replicas + replica) and the router also
+// tracks which replica of each group currently serves as primary. Promotion
+// is volatile routing state: a full-cluster restart re-derives it from the
+// surviving replicas, which is deterministic (lowest surviving index wins).
 #ifndef SRC_SERVE_ROUTER_H_
 #define SRC_SERVE_ROUTER_H_
 
@@ -18,9 +24,33 @@ namespace serve {
 
 class ShardRouter {
  public:
-  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {}
+  explicit ShardRouter(int num_shards, int replicas = 1)
+      : num_shards_(num_shards), replicas_(replicas < 1 ? 1 : replicas),
+        primary_(static_cast<std::size_t>(num_shards < 0 ? 0 : num_shards),
+                 0) {}
 
   int num_shards() const { return num_shards_; }
+
+  // ---- Replica-group addressing (src/repl) ----------------------------------
+  int replicas() const { return replicas_; }
+  int num_nodes() const { return num_shards_ * replicas_; }
+  int NodeFor(int group, int replica) const {
+    return group * replicas_ + replica;
+  }
+  int GroupOf(int node) const { return node / replicas_; }
+  int ReplicaOf(int node) const { return node % replicas_; }
+
+  // The replica of `group` requests are currently routed to.
+  int PrimaryReplica(int group) const {
+    return primary_[static_cast<std::size_t>(group)];
+  }
+  int PrimaryNodeFor(int group) const {
+    return NodeFor(group, PrimaryReplica(group));
+  }
+  // Failover: re-route the group to a promoted backup.
+  void Promote(int group, int replica) {
+    primary_[static_cast<std::size_t>(group)] = replica;
+  }
 
   int ShardFor(std::uint64_t key) const {
     return static_cast<int>(Mix(key) % static_cast<std::uint64_t>(num_shards_));
@@ -49,6 +79,8 @@ class ShardRouter {
 
  private:
   int num_shards_;
+  int replicas_ = 1;
+  std::vector<int> primary_;  // per group: replica currently routed to
 };
 
 }  // namespace serve

@@ -291,6 +291,13 @@ ServeCaseResult ServeFuzzer::Run(const ServeFuzzCase& c) const {
   }
   svc.CrashAll(plans);
 
+  if (config_.trace_sink != nullptr) {
+    config_.trace_sink->clear();
+    for (int s = 0; s < svc.num_shards(); ++s) {
+      config_.trace_sink->push_back(svc.shard(s).recorder().Snapshot());
+    }
+  }
+
   const Status recovered = svc.RecoverAll();
   if (!recovered.ok()) {
     return Fail(ServeFailureKind::kRecoverError, recovered.ToString());

@@ -47,6 +47,11 @@ struct ServeFuzzConfig {
   bool break_txn_redo = false;        // ablation: intents scrubbed, not redone
   std::uint32_t table_slots = 64;
   std::uint32_t value_size = 32;
+  // When set, Run() deposits each shard's full trace snapshot (warmup, the
+  // stopped txn, the crash) here, one vector per shard -- each shard is its
+  // own address space, so offline rule-engine replay (nearpm_analyze
+  // --corpus) runs one sanitizer per snapshot.
+  std::vector<std::vector<TraceEvent>>* trace_sink = nullptr;
 };
 
 // One deterministic crash schedule. Keys and values derive from the seed;

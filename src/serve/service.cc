@@ -447,7 +447,7 @@ void KvService::ExportResourceMetrics() {
     const Profile profile = BuildProfile(shard->recorder());
     nearpm::ExportResourceMetrics(
         profile, &metrics_, "serve_",
-        "shard=\"" + std::to_string(shard->id()) + "\",");
+        "shard=\"" + EscapeLabelValue(std::to_string(shard->id())) + "\",");
   }
 }
 

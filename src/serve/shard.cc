@@ -183,6 +183,95 @@ StatusOr<int> Shard::WriteIntent(ThreadId t, std::uint64_t txn_id,
   return slot;
 }
 
+StatusOr<int> Shard::LandRedoRecord(ThreadId t, std::uint64_t txn_id,
+                                    const std::vector<KvPair>& pairs,
+                                    bool persist, SimTime* durable_at) {
+  if (pairs.empty() || pairs.size() > kMaxTxnPairs) {
+    return InvalidArgument("redo record must carry 1.." +
+                           std::to_string(kMaxTxnPairs) + " pairs");
+  }
+  int slot = -1;
+  for (int s = 0; s < kIntentSlots; ++s) {
+    if (rt_->Load<std::uint64_t>(t, IntentAddr(s)) != kIntentMagic) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    return ResourceExhausted("all intent slots busy on shard " +
+                             std::to_string(id_));
+  }
+
+  std::vector<std::uint8_t> record(IntentBytes(), 0);
+  WriteU64(record.data() + 8, txn_id);
+  WriteU64(record.data() + 16, pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    std::uint8_t* p = record.data() + 24 + i * (8 + options_.value_size);
+    WriteU64(p, pairs[i].key);
+    std::memcpy(p + 8, pairs[i].value.data(),
+                std::min<std::size_t>(pairs[i].value.size(),
+                                      options_.value_size));
+  }
+
+  const PmAddr base = IntentAddr(slot);
+  rt_->Write(t, base + 8,
+             {record.data() + 8, static_cast<std::size_t>(IntentBytes() - 8)});
+  if (persist) {
+    rt_->Persist(t, base + 8, IntentBytes() - 8);
+  }
+  rt_->Store<std::uint64_t>(t, base, kIntentMagic);
+  if (persist) {
+    rt_->Persist(t, base, 8);
+  }
+  if (durable_at != nullptr) {
+    *durable_at = rt_->Now(t);
+  }
+  return slot;
+}
+
+void Shard::RingDoorbell(ThreadId t, int slot, std::uint64_t txn_id) {
+  const AddrRange range{IntentAddr(slot), IntentAddr(slot) + IntentBytes()};
+  NEARPM_TRACE_EVENT(recorder_.get(), .phase = TracePhase::kReplDoorbell,
+                     .pid = kTraceReplPid,
+                     .tid = static_cast<std::uint32_t>(id_),
+                     .ts = rt_->Now(t), .seq = txn_id, .range = range,
+                     .arg0 = static_cast<std::uint64_t>(slot));
+  if (analyze::PmSanitizer* san = rt_->sanitizer()) {
+    san->OnReplDoorbell(t, range, rt_->Now(t));
+  }
+}
+
+Status Shard::ApplyIntentRecord(ThreadId t, const IntentRecord& record) {
+  for (const KvPair& pair : record.pairs) {
+    NEARPM_RETURN_IF_ERROR(Put(t, pair.key, pair.value));
+  }
+  rt_->DrainDevices(t);
+  NEARPM_RETURN_IF_ERROR(InvalidateIntent(t, record.slot));
+  rt_->DrainDevices(t);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<KvPair>> Shard::DumpTable(ThreadId t) {
+  std::vector<KvPair> pairs;
+  for (std::uint32_t slot = 0; slot < options_.table_slots; ++slot) {
+    auto tag = heap_->Load<std::uint64_t>(t, EntryAddr(slot));
+    if (!tag.ok()) {
+      return tag.status();
+    }
+    if (*tag == 0) {
+      continue;
+    }
+    KvPair pair;
+    pair.key = *tag - 1;
+    pair.value.resize(options_.value_size);
+    NEARPM_RETURN_IF_ERROR(heap_->Read(t, EntryAddr(slot) + 8, pair.value));
+    pairs.push_back(std::move(pair));
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const KvPair& a, const KvPair& b) { return a.key < b.key; });
+  return pairs;
+}
+
 Status Shard::InvalidateIntent(ThreadId t, int slot) {
   NEARPM_RETURN_IF_ERROR(heap_->BeginOp(t));
   NEARPM_RETURN_IF_ERROR(

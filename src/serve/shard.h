@@ -98,6 +98,38 @@ class Shard {
   // Valid intents surviving in PM (used by recovery).
   StatusOr<std::vector<IntentRecord>> ScanIntents(ThreadId t);
 
+  // ---- Replication hooks (src/repl) -----------------------------------------
+  // Dedicated virtual clock standing in for the NIC's one-sided write engine.
+  // Raw stores only: it has no undo-log area, so no heap operation may ever
+  // run on it.
+  ThreadId NicTid() const { return options_.workers + 1; }
+  // Intent-slot geometry, public so a remote primary can aim one-sided
+  // writes at this shard's slots.
+  std::uint64_t IntentRecordBytes() const { return IntentBytes(); }
+  PmAddr IntentSlotAddr(int slot) const { return IntentAddr(slot); }
+
+  // One-sided landing of a redo record into a free intent slot with raw
+  // stores on `t` (no undo bracketing): the payload is written and persisted
+  // BEFORE the magic word, so a torn record is self-invalidating -- if the
+  // magic is durable, the payload already was. With persist=false the lines
+  // stay pending in the write queue (fault injection: a doorbell rung now
+  // races the record, the NPM007 hazard, and a crash may tear it). On
+  // success *durable_at (optional) is the shard clock after the final
+  // persist -- the instant the record is durable and the ack may be sent.
+  StatusOr<int> LandRedoRecord(ThreadId t, std::uint64_t txn_id,
+                               const std::vector<KvPair>& pairs, bool persist,
+                               SimTime* durable_at);
+  // Rings the NDP replay doorbell for a landed record: emits the
+  // kReplDoorbell audit event (range = the record) and notifies an attached
+  // sanitizer, which checks the record is durable before the ring (NPM007).
+  void RingDoorbell(ThreadId t, int slot, std::uint64_t txn_id);
+  // Local replay of a decoded intent: failure-atomic upsert of every pair,
+  // then retire the slot. Idempotent, so recovery may replay freely.
+  Status ApplyIntentRecord(ThreadId t, const IntentRecord& record);
+  // Bit-exact image of the live table, ascending by key (the divergent-
+  // replica oracle compares these across a replica group).
+  StatusOr<std::vector<KvPair>> DumpTable(ThreadId t);
+
   // ---- Failure and recovery -------------------------------------------------
   CrashReport Crash(const CrashPlan& plan);
   // Mechanism recovery + volatile index rebuild (not the cross-shard intent

@@ -77,6 +77,19 @@ struct CostModel {
   // Device-to-device status-bit propagation (Multi-device handler, Fig. 11).
   double ndp_remote_status_ns = 500.0;
 
+  // ---- Replication network (src/net). One full-duplex link per directed
+  // node pair, modeled like the PCIe command path: a serialization stage on
+  // the link timeline plus a fixed propagation delay. Constants approximate
+  // a datacenter RDMA fabric (one-sided verbs ~2 us end-to-end, ~10 GB/s
+  // per link) so the one-sided redo protocol sits in a realistic regime
+  // relative to the 436 ns local PM access.
+  double net_link_latency_ns = 1500.0;   // propagation + NIC traversal
+  double net_link_ns_per_byte = 0.1;     // 10 GB/s serialization
+  double net_frame_bytes = 64.0;         // per-message framing overhead
+  // Remote doorbell ring: the one-sided writer nudges the backup's NDP
+  // dispatcher after the redo record lands (an RDMA write with immediate).
+  double net_doorbell_ns = 200.0;
+
   // ---- Derived helpers -----------------------------------------------------
 
   static std::uint64_t Lines(std::size_t bytes) {
@@ -101,6 +114,13 @@ struct CostModel {
   double CpuPersistNs(std::size_t bytes) const {
     return static_cast<double>(Lines(bytes)) * cpu_flush_line_ns +
            cpu_drain_ns;
+  }
+
+  // Serialization time of one framed message on a link; the propagation
+  // latency is paid once on top by the fabric after serialization.
+  double NetSerializeNs(std::size_t bytes) const {
+    return (static_cast<double>(bytes) + net_frame_bytes) *
+           net_link_ns_per_byte;
   }
 };
 

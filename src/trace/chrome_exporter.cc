@@ -53,6 +53,13 @@ const char* PhaseCategory(TracePhase phase) {
     case TracePhase::kInflightDepth:
     case TracePhase::kServeQueueDepth:
       return "counter";
+    case TracePhase::kCoherenceWb:
+      return "cpu";
+    case TracePhase::kNetXfer:
+    case TracePhase::kNetDeliver:
+      return "net";
+    case TracePhase::kReplDoorbell:
+      return "repl";
     case TracePhase::kCount:
       break;
   }
@@ -85,6 +92,8 @@ std::string TraceProcessName(std::uint32_t pid) {
   if (pid == kTracePciePid) return "PCIe link";
   if (pid == kTraceSyncPid) return "multi-device sync";
   if (pid == kTraceServePid) return "serve front end";
+  if (pid == kTraceNetPid) return "network fabric";
+  if (pid == kTraceReplPid) return "replication";
   if (pid >= kTraceDevicePidBase) {
     return "NearPM device " + std::to_string(pid - kTraceDevicePidBase);
   }
@@ -96,6 +105,8 @@ std::string TraceThreadName(std::uint32_t pid, std::uint32_t tid) {
   if (pid == kTracePciePid) return "link";
   if (pid == kTraceSyncPid) return "sync machine";
   if (pid == kTraceServePid) return "serve worker " + std::to_string(tid);
+  if (pid == kTraceNetPid) return "link " + std::to_string(tid);
+  if (pid == kTraceReplPid) return "node " + std::to_string(tid);
   if (pid >= kTraceDevicePidBase) {
     if (tid == kTraceDispatcherTid) return "dispatcher";
     if (tid == kTraceMaintenanceTid) return "maintenance engine";

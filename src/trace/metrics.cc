@@ -19,14 +19,22 @@ std::string FormatDouble(double v) {
 }
 
 // Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes '_'.
-// A '{' starts a label suffix which passes through untouched.
+// A '{' starts a label suffix: its quoting is preserved, but raw newlines
+// (which would break the line-oriented exposition format if a caller built a
+// label value without EscapeLabelValue) are escaped defensively.
 std::string SanitizePrometheusName(const std::string& name) {
   std::string out;
   out.reserve(name.size());
   for (std::size_t i = 0; i < name.size(); ++i) {
     const char c = name[i];
     if (c == '{') {
-      out.append(name, i, std::string::npos);
+      for (; i < name.size(); ++i) {
+        if (name[i] == '\n') {
+          out += "\\n";
+        } else {
+          out.push_back(name[i]);
+        }
+      }
       break;
     }
     const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -42,6 +50,12 @@ std::string BaseName(const std::string& name) {
   return brace == std::string::npos ? name : name.substr(0, brace);
 }
 
+// Label suffix including braces ("{a=\"b\"}"), or empty.
+std::string LabelSuffix(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  return brace == std::string::npos ? std::string() : name.substr(brace);
+}
+
 void EmitTypeOnce(std::string& out, std::string& last_base,
                   const std::string& base, const char* type) {
   if (base == last_base) {
@@ -52,6 +66,27 @@ void EmitTypeOnce(std::string& out, std::string& last_base,
 }
 
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   // `other` is quiesced by contract; taking its lock shared still guards
@@ -144,21 +179,28 @@ std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
     EmitTypeOnce(out, last_base, BaseName(series), "gauge");
     out += series + " " + FormatDouble(gauge.value()) + "\n";
   }
+  last_base.clear();
   for (const auto& [name, hist] : histograms_) {
     // The latency histogram shares its registry key with the phase counter;
     // a Prometheus name must have exactly one type, so the summary gets its
-    // own _latency_ns base.
+    // own _latency_ns base. A label suffix on the registry key is preserved
+    // on every emitted series (the quantile label joins the caller's).
     const std::string series = prefix + "_" + SanitizePrometheusName(name);
     const std::string base = BaseName(series) + "_latency_ns";
-    out += "# TYPE " + base + " summary\n";
+    const std::string labels = LabelSuffix(series);
+    const std::string inner =  // caller labels without braces, "," appended
+        labels.empty() ? std::string()
+                       : labels.substr(1, labels.size() - 2) + ",";
+    EmitTypeOnce(out, last_base, base, "summary");
     for (const auto& [label, q] :
          {std::pair<const char*, double>{"0.5", 0.5}, {"0.9", 0.9},
           {"0.99", 0.99}}) {
-      out += base + "{quantile=\"" + label + "\"} " +
+      out += base + "{" + inner + "quantile=\"" + label + "\"} " +
              std::to_string(hist.Percentile(q)) + "\n";
     }
-    out += base + "_sum " + std::to_string(hist.sum()) + "\n";
-    out += base + "_count " + std::to_string(hist.count()) + "\n";
+    out += base + "_sum" + labels + " " + std::to_string(hist.sum()) + "\n";
+    out += base + "_count" + labels + " " + std::to_string(hist.count()) +
+           "\n";
   }
   return out;
 }

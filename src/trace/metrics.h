@@ -32,6 +32,14 @@
 
 namespace nearpm {
 
+// Escapes a Prometheus label value per the text exposition format: backslash,
+// double quote and newline must be written as \\, \" and \n. Everything else
+// (including '/', ':' and spaces, which replica track names carry) is legal
+// inside a quoted label value and passes through. Call this when building a
+// label-suffixed metric name, e.g.
+//   "duty{resource=\"" + EscapeLabelValue(track) + "\"}".
+std::string EscapeLabelValue(const std::string& value);
+
 // A settable point-in-time value (queue depth, duty cycle, occupancy). The
 // double payload rides one atomic word via bit_cast so Set/value are
 // lock-free and safe from concurrent threads.
@@ -130,7 +138,9 @@ class MetricsRegistry {
   // Prometheus text exposition format (version 0.0.4): counters as
   // `<prefix>_<name> v`, gauges likewise, histograms as summaries with
   // quantile series plus _sum and _count. Invalid metric-name characters
-  // are sanitized to '_'; label suffixes ({...}) pass through untouched.
+  // are sanitized to '_'; label suffixes ({...}) keep their quoting but any
+  // raw control characters inside them are escaped so the exposition stays
+  // parseable even if a caller skipped EscapeLabelValue().
   std::string ToPrometheus(const std::string& prefix = "nearpm") const;
 
  private:

@@ -70,6 +70,12 @@ const char* TracePhaseName(TracePhase phase) {
       return "serve_queue_depth";
     case TracePhase::kCoherenceWb:
       return "coherence_wb";
+    case TracePhase::kNetXfer:
+      return "net_xfer";
+    case TracePhase::kNetDeliver:
+      return "net_deliver";
+    case TracePhase::kReplDoorbell:
+      return "repl_doorbell";
     case TracePhase::kCount:
       break;
   }

@@ -67,6 +67,13 @@ enum class TracePhase : std::uint8_t {
   // ---- Coherence (appended; values above are a stable external contract).
   kCoherenceWb,     // instant: write-back guard persisted pending CPU lines
                     // ahead of an NDP command (Section 4 coherence handler)
+  // ---- Replication fabric (src/net + src/repl; appended for the same
+  // stable-contract reason).
+  kNetXfer,      // span: one framed message occupying a directed link
+                 // (seq = message seq, arg0 = MsgKind, arg1 = payload bytes)
+  kNetDeliver,   // instant: message handed to the destination node
+  kReplDoorbell, // instant: one-sided redo doorbell rung on a backup
+                 // (range = redo record; NPM007 audits persistence)
   kCount,
 };
 
@@ -81,6 +88,8 @@ inline constexpr std::uint32_t kTraceHostPid = 1;      // tid = ThreadId
 inline constexpr std::uint32_t kTracePciePid = 2;      // tid = 0, the link
 inline constexpr std::uint32_t kTraceSyncPid = 3;      // tid = 0, MD sync
 inline constexpr std::uint32_t kTraceServePid = 4;     // tid = worker index
+inline constexpr std::uint32_t kTraceNetPid = 5;       // tid = link index
+inline constexpr std::uint32_t kTraceReplPid = 6;      // tid = node index
 inline constexpr std::uint32_t kTraceDevicePidBase = 16;  // + DeviceId
 // Tids inside a device pid.
 inline constexpr std::uint32_t kTraceDispatcherTid = 0;

@@ -211,6 +211,39 @@ TEST(PmSanitizerRules, Npm006UnflushedLineAtFinish) {
   ExpectOnly(f.san, RuleId::kNpm006);
 }
 
+TEST(PmSanitizerRules, Npm007DoorbellBeforeRecordPersisted) {
+  // One-sided redo replication: the primary wrote the redo record into the
+  // backup's intent region but rang the replay doorbell before persisting
+  // it -- the ack the doorbell implies races the record.
+  PmSanitizer san;
+  const AddrRange record{4096, 4096 + 128};
+  san.OnCpuWrite(0, record, /*now=*/10, {});
+  san.OnReplDoorbell(0, record, /*now=*/20);
+  ExpectOnly(san, RuleId::kNpm007);
+}
+
+TEST(PmSanitizerRules, Npm007SilentWhenRecordPersistedFirst) {
+  PmSanitizer san;
+  const AddrRange record{4096, 4096 + 128};
+  san.OnCpuWrite(0, record, /*now=*/10, {});
+  san.OnFlush(0, record, /*now=*/20, {});
+  san.OnFence(0);
+  san.OnReplDoorbell(0, record, /*now=*/30);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 0u);
+  EXPECT_EQ(san.sink().total_unsuppressed(), 0u);
+}
+
+TEST(PmSanitizerRules, Npm007CountsEachHazardousDoorbell) {
+  PmSanitizer san;
+  const AddrRange a{4096, 4096 + 64};
+  const AddrRange b{8192, 8192 + 64};
+  san.OnCpuWrite(0, a, 10, {});
+  san.OnCpuWrite(0, b, 11, {});
+  san.OnReplDoorbell(0, a, 20);
+  san.OnReplDoorbell(0, b, 21);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 2u);
+}
+
 // ---- Clean runs -------------------------------------------------------------
 
 class CleanHeapRun : public ::testing::TestWithParam<Mechanism> {};

@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "src/analyze/sanitizer.h"
+#include "src/analyze/trace_analyzer.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_fuzzer.h"
+#include "src/repl/repl_fuzzer.h"
 #include "src/serve/serve_fuzzer.h"
 
 namespace nearpm {
@@ -44,6 +47,14 @@ TEST_P(FuzzCorpusReplayTest, ReplayMatchesExpectation) {
     run_ok = r.ok();
     verdict = std::string(serve::ServeFailureKindName(r.failure)) + ": " +
               r.detail;
+  } else if (repro->kind == "repl") {
+    repl::ReplFuzzer fuzzer(repl::ReplFuzzer::ConfigFromRepro(*repro));
+    auto c = repl::ReplFuzzer::CaseFromRepro(*repro);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    const repl::ReplCaseResult r = fuzzer.Run(*c);
+    run_ok = r.ok();
+    verdict = std::string(repl::ReplFailureKindName(r.failure)) + ": " +
+              r.detail;
   } else {
     CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
     const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
@@ -61,6 +72,59 @@ TEST_P(FuzzCorpusReplayTest, ReplayMatchesExpectation) {
   }
 }
 
+// The rule-engine policy nearpm_analyze --corpus enforces, applied to the
+// same committed repros: serve-/repl-kind repros replay their per-machine
+// trace snapshots through fresh sanitizers; sound repros must be
+// analyzer-clean, and skip_redo_persist repros must fire NPM007 (the
+// analyzer's teeth against the one-sided-redo ablation).
+class CorpusAnalyzerPolicyTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(CorpusAnalyzerPolicyTest, TraceReplayMatchesPolicy) {
+  auto repro = LoadRepro(GetParam());
+  ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+  if (repro->kind != "serve" && repro->kind != "repl") {
+    GTEST_SKIP() << "bank-kind repros attach the sanitizer live";
+  }
+
+  analyze::PmSanitizer san;
+  std::vector<std::vector<TraceEvent>> traces;
+  bool redo_persist_broken = false;
+  if (repro->kind == "serve") {
+    serve::ServeFuzzConfig config = serve::ServeFuzzer::ConfigFromRepro(*repro);
+    config.trace_sink = &traces;
+    auto c = serve::ServeFuzzer::CaseFromRepro(*repro);
+    ASSERT_TRUE(c.ok());
+    serve::ServeFuzzer(config).Run(*c);
+  } else {
+    repl::ReplFuzzConfig config = repl::ReplFuzzer::ConfigFromRepro(*repro);
+    config.trace_sink = &traces;
+    redo_persist_broken = config.skip_redo_persist;
+    auto c = repl::ReplFuzzer::CaseFromRepro(*repro);
+    ASSERT_TRUE(c.ok());
+    repl::ReplFuzzer(config).Run(*c);
+  }
+  ASSERT_FALSE(traces.empty()) << "the fuzzer deposited no trace snapshots";
+  for (const std::vector<TraceEvent>& trace : traces) {
+    analyze::AnalyzeTrace(trace, &san);
+  }
+
+  const bool sound =
+      repro->enforce_ppo && !repro->break_recovery && !redo_persist_broken;
+  if (sound) {
+    EXPECT_EQ(san.sink().total_unsuppressed(), 0u)
+        << san.sink().RenderText();
+  }
+  if (!repro->enforce_ppo) {
+    EXPECT_GT(san.sink().total_unsuppressed(), 0u)
+        << "the rule engine missed the enforce_ppo=false ablation";
+  }
+  if (redo_persist_broken) {
+    EXPECT_GT(san.sink().count(analyze::RuleId::kNpm007), 0u)
+        << "the rule engine missed the skip_redo_persist ablation";
+  }
+}
+
 std::string TestNameForPath(const std::string& path) {
   // Strip the directory and sanitize for gtest (alphanumerics only).
   std::string name = path.substr(path.find_last_of('/') + 1);
@@ -74,6 +138,12 @@ std::string TestNameForPath(const std::string& path) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpusReplayTest,
+                         ::testing::ValuesIn(CorpusFiles()),
+                         [](const auto& corpus_info) {
+                           return TestNameForPath(corpus_info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusAnalyzerPolicyTest,
                          ::testing::ValuesIn(CorpusFiles()),
                          [](const auto& corpus_info) {
                            return TestNameForPath(corpus_info.param);

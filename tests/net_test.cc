@@ -1,0 +1,126 @@
+// Tests for src/net: link serialization and queueing, propagation latency,
+// per-kind counters, trace/metrics observability, and reset semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/net/fabric.h"
+#include "src/trace/recorder.h"
+
+namespace nearpm {
+namespace net {
+namespace {
+
+Fabric MakeFabric(int nodes, TraceRecorder* trace = nullptr) {
+  FabricOptions fo;
+  fo.nodes = nodes;
+  fo.trace = trace;
+  return Fabric(fo);
+}
+
+TEST(FabricTest, DeliveryPaysSerializationAndLatency) {
+  Fabric fabric = MakeFabric(2);
+  const Delivery d = fabric.Send(0, 1, 256, /*earliest=*/1000,
+                                 MsgKind::kIntentShip);
+  EXPECT_EQ(d.link, fabric.LinkIndex(0, 1));
+  EXPECT_EQ(d.sent, 1000u) << "idle link starts serializing immediately";
+  const SimTime serialize =
+      NsToTime(fabric.cost().NetSerializeNs(256));
+  const SimTime latency = NsToTime(fabric.cost().net_link_latency_ns);
+  EXPECT_EQ(d.delivered, 1000 + serialize + latency);
+}
+
+TEST(FabricTest, MessagesQueueOnTheSameLink) {
+  Fabric fabric = MakeFabric(2);
+  const Delivery first = fabric.Send(0, 1, 4096, 0, MsgKind::kIntentShip);
+  const Delivery second = fabric.Send(0, 1, 64, 0, MsgKind::kIntentAck);
+  const SimTime latency = NsToTime(fabric.cost().net_link_latency_ns);
+  // The second frame cannot start serializing before the first finished.
+  EXPECT_GE(second.sent, first.delivered - latency);
+  EXPECT_GT(second.delivered, first.delivered);
+}
+
+TEST(FabricTest, DistinctLinksDoNotQueue) {
+  Fabric fabric = MakeFabric(3);
+  const Delivery a = fabric.Send(0, 1, 4096, 0, MsgKind::kIntentShip);
+  const Delivery b = fabric.Send(0, 2, 4096, 0, MsgKind::kIntentShip);
+  const Delivery c = fabric.Send(2, 1, 4096, 0, MsgKind::kIntentShip);
+  EXPECT_EQ(a.sent, 0u);
+  EXPECT_EQ(b.sent, 0u) << "0->1 and 0->2 are separate directed links";
+  EXPECT_EQ(c.sent, 0u) << "2->1 is independent of 0->1";
+  EXPECT_NE(a.link, b.link);
+  EXPECT_NE(a.link, c.link);
+}
+
+TEST(FabricTest, LinkFreeAtTracksOccupancy) {
+  Fabric fabric = MakeFabric(2);
+  EXPECT_EQ(fabric.LinkFreeAt(0, 1), 0u);
+  const Delivery d = fabric.Send(0, 1, 1024, 500, MsgKind::kRedoWrite);
+  const SimTime latency = NsToTime(fabric.cost().net_link_latency_ns);
+  EXPECT_EQ(fabric.LinkFreeAt(0, 1), d.delivered - latency);
+  EXPECT_EQ(fabric.LinkFreeAt(1, 0), 0u) << "reverse link stays free";
+}
+
+TEST(FabricTest, CountsMessagesAndBytesPerKind) {
+  Fabric fabric = MakeFabric(2);
+  fabric.Send(0, 1, 100, 0, MsgKind::kIntentShip);
+  fabric.Send(0, 1, 200, 0, MsgKind::kIntentShip);
+  fabric.Send(1, 0, 32, 0, MsgKind::kIntentAck);
+  EXPECT_EQ(fabric.MessagesSent(MsgKind::kIntentShip), 2u);
+  EXPECT_EQ(fabric.BytesSent(MsgKind::kIntentShip), 300u);
+  EXPECT_EQ(fabric.MessagesSent(MsgKind::kIntentAck), 1u);
+  EXPECT_EQ(fabric.MessagesSent(MsgKind::kDoorbell), 0u);
+  EXPECT_EQ(fabric.total_messages(), 3u);
+}
+
+TEST(FabricTest, EmitsTraceEventsAndMetrics) {
+  TraceRecorder recorder;
+  Fabric fabric = MakeFabric(2, &recorder);
+  const Delivery d = fabric.Send(0, 1, 128, 0, MsgKind::kDoorbell, /*seq=*/7);
+
+  bool saw_xfer = false;
+  bool saw_deliver = false;
+  for (const TraceEvent& e : recorder.Snapshot()) {
+    if (e.phase == TracePhase::kNetXfer) {
+      saw_xfer = true;
+      EXPECT_EQ(e.pid, kTraceNetPid);
+      EXPECT_EQ(e.tid, static_cast<std::uint32_t>(d.link));
+      EXPECT_EQ(e.seq, 7u);
+      EXPECT_EQ(e.arg1, 128u);
+    }
+    if (e.phase == TracePhase::kNetDeliver) {
+      saw_deliver = true;
+      EXPECT_EQ(e.pid, kTraceReplPid);
+      EXPECT_EQ(e.tid, 1u) << "delivery lands on the destination's track";
+      EXPECT_EQ(e.ts, d.delivered);
+    }
+  }
+  EXPECT_TRUE(saw_xfer);
+  EXPECT_TRUE(saw_deliver);
+
+  const auto& counters = recorder.metrics().counters();
+  ASSERT_TRUE(counters.contains("net_msgs_doorbell"));
+  EXPECT_EQ(counters.at("net_msgs_doorbell").load(), 1u);
+  ASSERT_TRUE(counters.contains("net_bytes_doorbell"));
+  EXPECT_EQ(counters.at("net_bytes_doorbell").load(), 128u);
+}
+
+TEST(FabricTest, ResetForgetsLinkOccupancy) {
+  Fabric fabric = MakeFabric(2);
+  fabric.Send(0, 1, 1 << 20, 0, MsgKind::kIntentShip);
+  ASSERT_GT(fabric.LinkFreeAt(0, 1), 0u);
+  fabric.Reset();
+  EXPECT_EQ(fabric.LinkFreeAt(0, 1), 0u);
+  const Delivery d = fabric.Send(0, 1, 64, 0, MsgKind::kIntentShip);
+  EXPECT_EQ(d.sent, 0u) << "a fresh epoch starts from an idle link";
+}
+
+TEST(FabricTest, MsgKindNamesAreStable) {
+  EXPECT_STREQ(MsgKindName(MsgKind::kIntentShip), "intent_ship");
+  EXPECT_STREQ(MsgKindName(MsgKind::kRedoWrite), "redo_write");
+  EXPECT_STREQ(MsgKindName(MsgKind::kPromote), "promote");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nearpm

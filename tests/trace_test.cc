@@ -365,6 +365,42 @@ TEST(MetricsRegistryTest, ReportAndJsonRoundTrip) {
   EXPECT_NE(latencies->Find("unit_exec"), nullptr);
 }
 
+TEST(MetricsRegistryTest, EscapeLabelValueHandlesSpecialCharacters) {
+  // Backslash, double quote and newline are the three characters the
+  // Prometheus exposition format requires escaping inside label values.
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("two\nlines"), "two\\nlines");
+  // Replica track names carry '/', ':' and spaces -- all legal inside a
+  // quoted label value, so they must pass through untouched.
+  EXPECT_EQ(EscapeLabelValue("node 3 / link 0->1: net"),
+            "node 3 / link 0->1: net");
+}
+
+TEST(MetricsRegistryTest, PrometheusLabelsStayWellFormed) {
+  MetricsRegistry metrics;
+  // A gauge whose label value carries every character class replica track
+  // names produce, built the way the profiler does it.
+  metrics.SetGauge(
+      "duty{resource=\"" + EscapeLabelValue("nic \"rx\" / link 0:1\n") + "\"}",
+      0.5);
+  const std::string prom = metrics.ToPrometheus("repl");
+  EXPECT_NE(prom.find("repl_duty{"), std::string::npos) << prom;
+  // The quote and the newline must appear escaped, never raw: a raw quote
+  // would terminate the label value early, a raw newline would split the
+  // sample line.
+  EXPECT_NE(prom.find("\\\"rx\\\""), std::string::npos) << prom;
+  EXPECT_NE(prom.find("\\n"), std::string::npos) << prom;
+  for (std::size_t at = prom.find('{'); at != std::string::npos;
+       at = prom.find('{', at + 1)) {
+    const std::size_t close = prom.find('}', at);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_EQ(prom.substr(at, close - at).find('\n'), std::string::npos)
+        << "raw newline inside a label set:\n" << prom;
+  }
+}
+
 TEST(MetricsRegistryTest, ConcurrentRecordingFromWorkerThreads) {
   MetricsRegistry metrics;
   constexpr int kThreads = 8;

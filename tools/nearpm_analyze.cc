@@ -20,7 +20,9 @@
 //   --enforce-ppo=0|1   disable/enable PPO ordering (default 1; 0 is the
 //                       Section 2.3 ablation the analyzer must flag)
 //   --trace-in=FILE     analyze a raw trace JSONL instead of running anything
-//   --corpus=DIR        replay every bank-kind crash repro under the analyzer
+//   --corpus=DIR        replay every crash repro under the rule engine
+//                       (bank-kind live; serve-/repl-kind via per-machine
+//                       trace snapshots)
 //   --suppress=SPEC     suppression (repeatable): "NPM005" or "NPM005:file"
 //   --expect-findings   exit 0 iff at least one unsuppressed finding fired
 //   --sarif=FILE        write a SARIF 2.1.0 document ("-" = stdout)
@@ -42,6 +44,8 @@
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_fuzzer.h"
 #include "src/prof/raw_trace.h"
+#include "src/repl/repl_fuzzer.h"
+#include "src/serve/serve_fuzzer.h"
 #include "src/workloads/workload.h"
 
 namespace nearpm {
@@ -204,10 +208,19 @@ int RunWorkloadAnalyzed(const CliOptions& cli, analyze::PmSanitizer* san,
   return 0;
 }
 
-// Replays every bank-kind repro in the corpus under a fresh sanitizer each.
-// Sound repros (PPO enforced, recovery intact) must be analyzer-clean;
-// enforce_ppo=false repros must fire at least one finding (teeth).
-// `summary_san` accumulates nothing here -- corpus mode reports per repro.
+// Replays every repro in the corpus through the rule engine.
+//
+// Bank-kind repros attach the sanitizer to the single simulated machine
+// directly. Serve- and repl-kind repros run one runtime per shard/node, so
+// the single-address-space sanitizer cannot span them live; instead the
+// fuzzer deposits each machine's trace snapshot (trace_sink) and one fresh
+// sanitizer replays each snapshot offline -- the same trace path as
+// --trace-in.
+//
+// Policy: the replay verdict must match the recorded expectation; sound
+// repros (PPO enforced, recovery/redo intact, persists intact) must be
+// analyzer-clean; enforce_ppo=false repros must fire at least one finding;
+// repl repros with repl_skip_redo_persist must fire NPM007 (teeth).
 int RunCorpus(const CliOptions& cli) {
   const std::vector<std::string> files = fuzz::ListCorpus(cli.corpus);
   if (files.empty()) {
@@ -216,7 +229,6 @@ int RunCorpus(const CliOptions& cli) {
   }
   int failures = 0;
   std::size_t replayed = 0;
-  std::size_t skipped = 0;
   for (const std::string& path : files) {
     auto repro = fuzz::LoadRepro(path);
     if (!repro.ok()) {
@@ -225,41 +237,90 @@ int RunCorpus(const CliOptions& cli) {
       ++failures;
       continue;
     }
-    if (repro->kind != "bank") {
-      // Serve-kind repros run one runtime per shard; the single-address-space
-      // sanitizer cannot span them (see DESIGN.md section 11).
-      ++skipped;
-      continue;
-    }
+
     analyze::PmSanitizer san;
     for (const std::string& spec : cli.suppressions) {
       san.sink().Suppress(spec);
     }
-    fuzz::FuzzConfig config = fuzz::CrashFuzzer::ConfigFromRepro(*repro);
-    config.sanitizer = &san;
-    const fuzz::CrashFuzzer fuzzer(config);
-    const fuzz::CaseResult result =
-        fuzzer.Run(fuzz::CrashFuzzer::CaseFromRepro(*repro));
+    bool run_ok = false;
+    std::string verdict_name;
+    // Soundness beyond the shared enforce_ppo/break_recovery fields: the
+    // kind-specific ablations that legitimately make traces hazardous.
+    bool redo_persist_broken = false;
+    if (repro->kind == "serve") {
+      std::vector<std::vector<TraceEvent>> traces;
+      serve::ServeFuzzConfig config =
+          serve::ServeFuzzer::ConfigFromRepro(*repro);
+      config.trace_sink = &traces;
+      const serve::ServeFuzzer fuzzer(config);
+      auto c = serve::ServeFuzzer::CaseFromRepro(*repro);
+      if (!c.ok()) {
+        std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                     c.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      const serve::ServeCaseResult result = fuzzer.Run(*c);
+      run_ok = result.ok();
+      verdict_name = serve::ServeFailureKindName(result.failure);
+      // One shard = one address space = one rule-engine replay; findings
+      // accumulate in the shared sink.
+      for (const std::vector<TraceEvent>& trace : traces) {
+        analyze::AnalyzeTrace(trace, &san);
+      }
+    } else if (repro->kind == "repl") {
+      std::vector<std::vector<TraceEvent>> traces;
+      repl::ReplFuzzConfig config = repl::ReplFuzzer::ConfigFromRepro(*repro);
+      config.trace_sink = &traces;
+      redo_persist_broken = config.skip_redo_persist;
+      const repl::ReplFuzzer fuzzer(config);
+      auto c = repl::ReplFuzzer::CaseFromRepro(*repro);
+      if (!c.ok()) {
+        std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(),
+                     c.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      const repl::ReplCaseResult result = fuzzer.Run(*c);
+      run_ok = result.ok();
+      verdict_name = repl::ReplFailureKindName(result.failure);
+      for (const std::vector<TraceEvent>& trace : traces) {
+        analyze::AnalyzeTrace(trace, &san);
+      }
+    } else {
+      fuzz::FuzzConfig config = fuzz::CrashFuzzer::ConfigFromRepro(*repro);
+      config.sanitizer = &san;
+      const fuzz::CrashFuzzer fuzzer(config);
+      const fuzz::CaseResult result =
+          fuzzer.Run(fuzz::CrashFuzzer::CaseFromRepro(*repro));
+      run_ok = result.ok();
+      verdict_name = fuzz::FailureKindName(result.failure);
+    }
     ++replayed;
 
     const bool expects_violation = repro->expect == "violation";
-    if (result.ok() == expects_violation) {
+    if (run_ok == expects_violation) {
       std::fprintf(stderr, "FAIL %s: replay verdict %s does not match "
                    "expect=%s\n", path.c_str(),
-                   result.ok() ? "ok" : fuzz::FailureKindName(result.failure),
+                   run_ok ? "ok" : verdict_name.c_str(),
                    repro->expect.c_str());
       ++failures;
       continue;
     }
 
     const std::uint64_t findings = san.sink().total_unsuppressed();
-    const bool sound = repro->enforce_ppo && !repro->break_recovery;
+    const bool sound =
+        repro->enforce_ppo && !repro->break_recovery && !redo_persist_broken;
     const char* verdict = "ok";
     if (sound && findings > 0) {
       verdict = "FAIL (findings on a sound repro)";
       ++failures;
     } else if (!repro->enforce_ppo && findings == 0) {
       verdict = "FAIL (no finding on an enforce_ppo=false repro)";
+      ++failures;
+    } else if (redo_persist_broken &&
+               san.sink().count(analyze::RuleId::kNpm007) == 0) {
+      verdict = "FAIL (no NPM007 on a skip_redo_persist repro)";
       ++failures;
     }
     if (!cli.quiet || std::strcmp(verdict, "ok") != 0) {
@@ -270,9 +331,7 @@ int RunCorpus(const CliOptions& cli) {
       }
     }
   }
-  std::printf(
-      "corpus: %zu replayed, %zu serve-kind skipped, %d failure(s)\n",
-      replayed, skipped, failures);
+  std::printf("corpus: %zu replayed, %d failure(s)\n", replayed, failures);
   return failures == 0 ? 0 : 1;
 }
 

@@ -9,6 +9,13 @@
 //                        names failures this way)
 //   --corpus=DIR         replay every minimized repro under DIR and check
 //                        its recorded expectation
+//   --repl               systematic replicated-cluster sweep instead of the
+//                        single-machine fuzzer: every stop phase of the
+//                        replicated commit x every non-empty node subset
+//                        power-failed, for --protocol=pb|redo|all;
+//                        --break-intent-redo / --skip-redo-persist seed the
+//                        recovery/persist ablations (combine with
+//                        --expect-failures for the CI teeth check)
 //
 // Configuration selection: --mechanism / --mode accept one canonical name
 // or "all" (default), --enforce-ppo=0 runs the Section 2.3 ablation,
@@ -26,6 +33,7 @@
 
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_fuzzer.h"
+#include "src/repl/repl_fuzzer.h"
 #include "src/serve/serve_fuzzer.h"
 
 namespace nearpm {
@@ -49,6 +57,12 @@ struct CliOptions {
   std::string corpus_dir;
   std::string out_dir;
   int max_shrinks = 3;  // shrunk + reported failures per configuration
+  bool repl = false;
+  std::string protocol = "all";
+  int repl_groups = 2;
+  int repl_replicas = 2;
+  bool break_intent_redo = false;
+  bool skip_redo_persist = false;
 };
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -87,7 +101,10 @@ int Usage(const char* argv0) {
       "          [--mode=baseline|nearpm_sd|nearpm_md_swsync|nearpm_md|all]\n"
       "          [--enforce-ppo=0|1] [--break-recovery]\n"
       "          [--replay=SEED:CASE] [--corpus=DIR] [--out=DIR]\n"
-      "          [--expect-failures]\n",
+      "          [--expect-failures]\n"
+      "          [--repl [--protocol=pb|redo|all] [--repl-groups=G]\n"
+      "           [--repl-replicas=K] [--break-intent-redo]\n"
+      "           [--skip-redo-persist]]\n",
       argv0);
   return 2;
 }
@@ -146,6 +163,19 @@ int ReplayCorpus(const CliOptions& cli) {
       run_ok = r.ok();
       got = serve::ServeFailureKindName(r.failure);
       detail = r.detail;
+    } else if (repro->kind == "repl") {
+      repl::ReplFuzzer fuzzer(repl::ReplFuzzer::ConfigFromRepro(*repro));
+      auto c = repl::ReplFuzzer::CaseFromRepro(*repro);
+      if (!c.ok()) {
+        std::printf("ERROR %s: %s\n", path.c_str(),
+                    c.status().ToString().c_str());
+        ++bad;
+        continue;
+      }
+      const repl::ReplCaseResult r = fuzzer.Run(*c);
+      run_ok = r.ok();
+      got = repl::ReplFailureKindName(r.failure);
+      detail = r.detail;
     } else {
       CrashFuzzer fuzzer(CrashFuzzer::ConfigFromRepro(*repro));
       const FuzzCase c = CrashFuzzer::CaseFromRepro(*repro);
@@ -168,6 +198,95 @@ int ReplayCorpus(const CliOptions& cli) {
   }
   std::printf("corpus: %zu repros, %d failures\n", files.size(), bad);
   return bad == 0 ? 0 : 1;
+}
+
+// Systematic replicated-cluster sweep: every stop phase of the replicated
+// commit x every targetable ordinal x every non-empty crashed-node subset,
+// for each selected protocol. Failures are already minimal schedules (one
+// txn, one stop point, one subset), so they are saved to --out directly.
+int RunReplSweep(const CliOptions& cli) {
+  std::vector<repl::ReplProtocol> protocols;
+  if (cli.protocol == "all") {
+    protocols = {repl::ReplProtocol::kPrimaryBackup,
+                 repl::ReplProtocol::kOneSidedRedo};
+  } else {
+    auto p = repl::ReplProtocolFromName(cli.protocol);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s\n", p.status().ToString().c_str());
+      return 2;
+    }
+    protocols = {*p};
+  }
+
+  SweepStats total;
+  int configs_with_failures = 0;
+  for (const repl::ReplProtocol protocol : protocols) {
+    repl::ReplFuzzConfig config;
+    config.groups = cli.repl_groups;
+    config.replicas = cli.repl_replicas;
+    config.protocol = protocol;
+    config.enforce_ppo = cli.enforce_ppo;
+    config.skip_recovery_replay = cli.break_recovery;
+    config.break_intent_redo = cli.break_intent_redo;
+    config.skip_redo_persist = cli.skip_redo_persist;
+    repl::ReplFuzzer fuzzer(config);
+
+    std::vector<repl::ReplFuzzFailure> failures;
+    const SweepStats stats = fuzzer.Systematic(cli.first_seed, &failures);
+    total.cases += stats.cases;
+    total.failures += stats.failures;
+    if (stats.failures > 0) {
+      ++configs_with_failures;
+    }
+    std::printf("[repl/%s %dx%d] %" PRIu64 " cases, %" PRIu64 " failures\n",
+                repl::ReplProtocolName(protocol), cli.repl_groups,
+                cli.repl_replicas, stats.cases, stats.failures);
+    int shown = 0;
+    for (const repl::ReplFuzzFailure& f : failures) {
+      if (shown >= cli.max_shrinks) {
+        std::printf("  (%zu more failures not shown)\n",
+                    failures.size() - static_cast<std::size_t>(shown));
+        break;
+      }
+      ++shown;
+      std::printf("  FAIL seed=%" PRIu64 " phase=%s ordinal=%d mask=%" PRIu64
+                  " %s: %s: %s\n",
+                  f.fuzz_case.seed,
+                  repl::ReplFuzzer::PhaseName(f.fuzz_case.phase),
+                  f.fuzz_case.ordinal, f.fuzz_case.crash_mask,
+                  f.fuzz_case.lines_survive ? "surv" : "drop",
+                  repl::ReplFailureKindName(f.result.failure),
+                  f.result.detail.c_str());
+      if (!cli.out_dir.empty()) {
+        const CrashRepro repro =
+            fuzzer.ToRepro(f.fuzz_case, "violation", f.result.detail);
+        const std::string path = cli.out_dir + "/" + ReproFileName(repro);
+        const Status saved = SaveRepro(repro, path);
+        if (saved.ok()) {
+          std::printf("  repro: %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "  cannot save repro: %s\n",
+                       saved.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("total: %" PRIu64 " cases, %" PRIu64
+              " failures across %zu protocol(s)\n",
+              total.cases, total.failures, protocols.size());
+  if (cli.expect_failures) {
+    if (configs_with_failures == static_cast<int>(protocols.size())) {
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "expected violations in every protocol, but %zu stayed "
+                 "green\n",
+                 protocols.size() - static_cast<std::size_t>(
+                                        configs_with_failures));
+    return 1;
+  }
+  return total.failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -217,6 +336,22 @@ int FuzzMain(int argc, char** argv) {
       cli.corpus_dir = value;
     } else if (MatchFlag(arg, "--out", &value) && value != nullptr) {
       cli.out_dir = value;
+    } else if (MatchFlag(arg, "--repl", &value)) {
+      cli.repl = true;
+    } else if (MatchFlag(arg, "--protocol", &value) && value != nullptr) {
+      cli.protocol = value;
+    } else if (MatchFlag(arg, "--repl-groups", &value) && value != nullptr) {
+      std::uint64_t n = 0;
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.repl_groups = static_cast<int>(n);
+    } else if (MatchFlag(arg, "--repl-replicas", &value) && value != nullptr) {
+      std::uint64_t n = 0;
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.repl_replicas = static_cast<int>(n);
+    } else if (MatchFlag(arg, "--break-intent-redo", &value)) {
+      cli.break_intent_redo = true;
+    } else if (MatchFlag(arg, "--skip-redo-persist", &value)) {
+      cli.skip_redo_persist = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       return Usage(argv[0]);
@@ -225,6 +360,9 @@ int FuzzMain(int argc, char** argv) {
 
   if (!cli.corpus_dir.empty()) {
     return ReplayCorpus(cli);
+  }
+  if (cli.repl) {
+    return RunReplSweep(cli);
   }
 
   std::vector<Mechanism> mechanisms;

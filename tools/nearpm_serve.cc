@@ -17,6 +17,12 @@
 //   --json-out=FILE     machine-readable stats (single JSON object)
 //   --metrics-out=FILE  Prometheus text exposition: serve counters, latency
 //                       quantiles, per-shard duty-cycle/occupancy gauges
+//   --replicas=K        replicated mode: --shards becomes the replica-group
+//                       count and every group runs 1 primary + K-1 backups
+//                       over the simulated fabric (default 1 = single copy)
+//   --protocol=pb|redo  replication protocol in replicated mode: acked
+//                       primary-backup log shipping or one-sided redo
+//                       (primary writes the backup's PM, NDP replays)
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/repl/service.h"
 #include "src/serve/service.h"
 
 namespace nearpm {
@@ -43,6 +50,8 @@ struct CliOptions {
   std::size_t queue = 64;
   std::string json_out;
   std::string metrics_out;
+  int replicas = 1;
+  std::string protocol = "pb";
 };
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -68,7 +77,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--shards=N] [--workers=N] [--requests=N]\n"
                "          [--multiput-every=N] [--batch=N] [--queue=N]\n"
-               "          [--json-out=FILE] [--metrics-out=FILE]\n",
+               "          [--json-out=FILE] [--metrics-out=FILE]\n"
+               "          [--replicas=K] [--protocol=pb|redo]\n",
                argv0);
   return 2;
 }
@@ -79,6 +89,154 @@ std::vector<std::uint8_t> ValueFor(std::uint64_t key, std::uint32_t size) {
     value[i] = static_cast<std::uint8_t>(key * 7 + i);
   }
   return value;
+}
+
+// Replicated smoke: the same deterministic request mix pushed through the
+// replicated serving tier (src/repl) with OS worker threads. Every write is
+// a replicated commit, so progress here exercises the fabric, both commit
+// protocols, and the cross-replica retire path end to end.
+int ReplServeMain(const CliOptions& cli) {
+  auto protocol = repl::ReplProtocolFromName(cli.protocol);
+  if (!protocol.ok()) {
+    std::fprintf(stderr, "%s\n", protocol.status().ToString().c_str());
+    return 2;
+  }
+  repl::ReplOptions ro;
+  ro.groups = cli.shards;
+  ro.replicas = cli.replicas;
+  ro.protocol = *protocol;
+  ro.workers_per_shard = cli.workers;
+  ro.queue_capacity = cli.queue;
+  ro.batch_max = cli.batch;
+  auto svc = repl::ReplicatedKvService::Create(ro);
+  if (!svc.ok()) {
+    std::fprintf(stderr, "cannot create replicated service: %s\n",
+                 svc.status().ToString().c_str());
+    return 1;
+  }
+
+  (*svc)->Start();
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(cli.requests);
+  std::uint64_t rejected = 0;
+  for (std::uint64_t i = 0; i < cli.requests; ++i) {
+    serve::ServeRequest req;
+    if (cli.multiput_every > 0 && i % cli.multiput_every == 0) {
+      req.kind = serve::RequestKind::kMultiPut;
+      for (std::uint64_t j = 0; j < 4; ++j) {
+        const std::uint64_t key = 100000 + i + j * 31;
+        req.pairs.push_back(
+            serve::KvPair{key, ValueFor(key, ro.value_size)});
+      }
+    } else if (i % 3 == 2) {
+      req.kind = serve::RequestKind::kGet;
+      req.key = i / 2;
+    } else {
+      req.kind = serve::RequestKind::kPut;
+      req.key = i;
+      req.value = ValueFor(i, ro.value_size);
+    }
+    bool admitted = false;
+    for (int attempt = 0; attempt < 1000 && !admitted; ++attempt) {
+      serve::ServeRequest copy = req;
+      auto fut = (*svc)->Submit(std::move(copy));
+      if (fut.ok()) {
+        futures.push_back(std::move(*fut));
+        admitted = true;
+      } else {
+        ++rejected;
+        std::this_thread::yield();
+      }
+    }
+  }
+  for (auto& fut : futures) {
+    fut.get();
+  }
+  (*svc)->Stop();
+
+  std::string report;
+  const std::uint64_t violations = (*svc)->PpoViolations(&report);
+  const repl::ReplStats stats = (*svc)->Stats();
+
+  std::printf("repl smoke: %d groups x %d replicas (%s) x %d workers, "
+              "batch_max=%d, queue=%zu\n",
+              cli.shards, cli.replicas, repl::ReplProtocolName(*protocol),
+              cli.workers, cli.batch, cli.queue);
+  std::printf("  submitted:  %" PRIu64 " (%" PRIu64 " rejected by admission)\n",
+              cli.requests, rejected);
+  std::printf("  completed:  %" PRIu64 " (%" PRIu64 " puts, %" PRIu64
+              " gets, %" PRIu64 " txns, %" PRIu64 " batches)\n",
+              stats.completed, stats.puts, stats.gets, stats.txns,
+              stats.batches);
+  std::printf("  fabric:     %" PRIu64 " messages\n", stats.net_messages);
+  std::printf("  makespan:   %" PRIu64 " simulated ns\n", stats.makespan_ns);
+  std::printf("  latency:    p50=%" PRIu64 " ns, p99=%" PRIu64 " ns\n",
+              stats.request_p50_ns, stats.request_p99_ns);
+  std::printf("  commit:     p50=%" PRIu64 " ns, p99=%" PRIu64 " ns\n",
+              stats.commit_p50_ns, stats.commit_p99_ns);
+  std::printf("  throughput: %.0f ops/simulated-second\n",
+              stats.throughput_ops_per_sec);
+  std::printf("  PPO audit:  %" PRIu64 " violation(s)\n", violations);
+  if (violations > 0) {
+    std::printf("%s", report.c_str());
+  }
+
+  if (!cli.json_out.empty()) {
+    std::ofstream out(cli.json_out, std::ios::trunc);
+    out << "{\n"
+        << "  \"groups\": " << cli.shards << ",\n"
+        << "  \"replicas\": " << cli.replicas << ",\n"
+        << "  \"protocol\": \"" << repl::ReplProtocolName(*protocol)
+        << "\",\n"
+        << "  \"workers_per_shard\": " << cli.workers << ",\n"
+        << "  \"completed\": " << stats.completed << ",\n"
+        << "  \"rejected\": " << rejected << ",\n"
+        << "  \"txns\": " << stats.txns << ",\n"
+        << "  \"batches\": " << stats.batches << ",\n"
+        << "  \"net_messages\": " << stats.net_messages << ",\n"
+        << "  \"makespan_ns\": " << stats.makespan_ns << ",\n"
+        << "  \"request_p50_ns\": " << stats.request_p50_ns << ",\n"
+        << "  \"request_p99_ns\": " << stats.request_p99_ns << ",\n"
+        << "  \"commit_p50_ns\": " << stats.commit_p50_ns << ",\n"
+        << "  \"commit_p99_ns\": " << stats.commit_p99_ns << ",\n"
+        << "  \"throughput_ops_per_sec\": " << stats.throughput_ops_per_sec
+        << ",\n"
+        << "  \"ppo_violations\": " << violations << "\n"
+        << "}\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_out.c_str());
+      return 1;
+    }
+  }
+
+  if (!cli.metrics_out.empty()) {
+    (*svc)->ExportResourceMetrics();
+    MetricsRegistry merged;
+    merged.MergeFrom((*svc)->metrics());
+    for (int n = 0; n < (*svc)->num_nodes(); ++n) {
+      merged.MergeFrom((*svc)->node(n).recorder().metrics());
+    }
+    std::ofstream out(cli.metrics_out, std::ios::trunc);
+    out << merged.ToPrometheus();
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli.metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  if (stats.completed == 0 || stats.throughput_ops_per_sec <= 0) {
+    std::fprintf(stderr, "FAIL: the replicated service made no progress\n");
+    return 1;
+  }
+  if (stats.net_messages == 0) {
+    std::fprintf(stderr, "FAIL: no replication traffic on the fabric\n");
+    return 1;
+  }
+  if (violations > 0) {
+    std::fprintf(stderr, "FAIL: PPO invariant violations\n");
+    return 1;
+  }
+  return 0;
 }
 
 int ServeMain(int argc, char** argv) {
@@ -106,10 +264,19 @@ int ServeMain(int argc, char** argv) {
       cli.json_out = value;
     } else if (MatchFlag(argv[i], "--metrics-out", &value)) {
       cli.metrics_out = value;
+    } else if (MatchFlag(argv[i], "--replicas", &value)) {
+      if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
+      cli.replicas = static_cast<int>(n);
+    } else if (MatchFlag(argv[i], "--protocol", &value)) {
+      cli.protocol = value;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return Usage(argv[0]);
     }
+  }
+
+  if (cli.replicas > 1) {
+    return ReplServeMain(cli);
   }
 
   ServeOptions so;
