@@ -8,7 +8,11 @@
 // path, so the committed baseline gates regressions exactly.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/harness.h"
@@ -84,6 +88,81 @@ ServeRun RunServe(int shards, int batch_max, std::uint64_t requests,
   return run;
 }
 
+// Threaded hot-path throughput: real OS worker threads draining the shard
+// rings while `clients` submitter threads push puts/gets as fast as
+// admission allows. Unlike the Pump entries this measures *wall-clock*
+// ops/sec of the queue + metrics hot path, so it is nondeterministic and
+// deliberately absent from the committed baseline; CI only asserts
+// progress. It is the number the lock-free ring exists to move.
+ServeRun RunThreadedServe(int shards, int clients,
+                          std::uint64_t requests_per_client) {
+  serve::ServeOptions so;
+  so.shards = shards;
+  so.workers_per_shard = 2;
+  so.queue_capacity = 256;
+  so.batch_max = 8;
+  auto svc = serve::KvService::Create(so);
+  if (!svc.ok()) {
+    std::abort();
+  }
+  (*svc)->Start();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&svc, &completed, c, requests_per_client] {
+      std::vector<std::future<serve::ServeResult>> futures;
+      futures.reserve(requests_per_client);
+      for (std::uint64_t i = 0; i < requests_per_client; ++i) {
+        serve::ServeRequest req;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(c) * requests_per_client + i;
+        if (i % 3 == 2) {
+          req.kind = serve::RequestKind::kGet;
+          req.key = key / 2;
+        } else {
+          req.kind = serve::RequestKind::kPut;
+          req.key = key;
+          req.value = std::vector<std::uint8_t>(8, 2);
+        }
+        // Backpressure: a full ring rejects; yield to the workers and retry.
+        while (true) {
+          serve::ServeRequest copy = req;
+          if ((*svc)->Submit(std::move(copy)).ok()) {
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+      completed.fetch_add(requests_per_client, std::memory_order_relaxed);
+      for (auto& fut : futures) {
+        fut.get();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  (*svc)->Stop();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const serve::ServeStats stats = (*svc)->Stats();
+  ServeRun run;
+  run.throughput_ops_per_sec =
+      wall_s > 0 ? static_cast<double>(stats.completed) / wall_s : 0;
+  run.makespan_ns = static_cast<double>(stats.makespan_ns);
+  run.p99_ns = static_cast<double>(stats.request_p99_ns);
+  if (stats.completed == 0 || (*svc)->PpoViolations() > 0) {
+    std::abort();
+  }
+  return run;
+}
+
 void RegisterAll() {
   for (int shards : {1, 2, 4}) {
     benchmark::RegisterBenchmark(
@@ -102,6 +181,21 @@ void RegisterAll() {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+  // Threaded wall-clock hot path (the acceptance number for the lock-free
+  // ring): 4 shards x 4 submitter clients, 25k requests per client.
+  benchmark::RegisterBenchmark(
+      "serve/threaded:4x4",
+      [](benchmark::State& state) {
+        ServeRun run;
+        for (auto _ : state) {
+          run = RunThreadedServe(/*shards=*/4, /*clients=*/4,
+                                 /*requests_per_client=*/25000);
+        }
+        state.counters["wall_ops_per_sec"] = run.throughput_ops_per_sec;
+        state.counters["p99_ns"] = run.p99_ns;
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
   // The amortization knob at fixed shard count: per-request doorbell/fence
   // versus one per batch of 8.
   for (int batch : {1, 8}) {

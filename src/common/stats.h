@@ -64,8 +64,14 @@ class Histogram {
   void MergeFrom(const Histogram& other);
   std::string ToString() const;
 
- private:
   static constexpr int kBuckets = 64;
+  // Population of bucket i (0 holds exactly v == 0; i > 0 covers
+  // [2^(i-1), 2^i - 1]) -- for exporters that serialize the distribution.
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> total_{0};
   std::atomic<std::uint64_t> sum_{0};

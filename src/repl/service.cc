@@ -85,7 +85,7 @@ StatusOr<std::unique_ptr<ReplicatedKvService>> ReplicatedKvService::Create(
 
   for (int g = 0; g < options.groups; ++g) {
     service->queues_.push_back(
-        std::make_unique<serve::BoundedQueue<QueuedRequest>>(
+        std::make_unique<serve::MpscRing<QueuedRequest>>(
             options.queue_capacity));
   }
   service->pump_rr_.assign(options.groups, 0);
@@ -144,7 +144,7 @@ void ReplicatedKvService::Stop() {
 }
 
 void ReplicatedKvService::WorkerLoop(int group, int worker) {
-  serve::BoundedQueue<QueuedRequest>& queue = *queues_[group];
+  serve::MpscRing<QueuedRequest>& queue = *queues_[group];
   while (true) {
     auto first = queue.Pop();
     if (!first.has_value()) {

@@ -50,7 +50,7 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
-#include "src/serve/queue.h"
+#include "src/serve/mpsc_ring.h"
 #include "src/serve/router.h"
 #include "src/serve/service.h"
 #include "src/serve/shard.h"
@@ -239,7 +239,7 @@ class ReplicatedKvService {
   std::vector<bool> alive_;
   std::unique_ptr<TraceRecorder> fabric_recorder_;
   std::unique_ptr<net::Fabric> fabric_;
-  std::vector<std::unique_ptr<serve::BoundedQueue<QueuedRequest>>> queues_;
+  std::vector<std::unique_ptr<serve::MpscRing<QueuedRequest>>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> txn_counter_{0};
   std::vector<int> pump_rr_;

@@ -8,6 +8,14 @@
 // buffering) and drained in batches: one front-end doorbell charge and one
 // fence per batch instead of per request, the classic amortization knob.
 //
+// Requests are admitted into per-shard lock-free MPSC rings
+// (src/serve/mpsc_ring.h) and metrics are recorded into per-worker local
+// counter blocks, so the hot path performs no mutex acquisition and no
+// registry lookup: admission is a claim-CAS plus a release store, and each
+// completion bumps a cache-line-private relaxed atomic. The MetricsRegistry
+// is populated only on PublishMetrics()/ExportResourceMetrics() (scrape
+// time), and Stats() is a single merge pass over the worker blocks.
+//
 // Two execution modes share the queue/batch path:
 //   * Start()/Stop(): real OS worker threads per shard (the CLI smoke mode);
 //   * Pump(): deterministic inline draining on the calling thread (the
@@ -32,8 +40,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/stats.h"
 #include "src/common/status.h"
-#include "src/serve/queue.h"
+#include "src/serve/mpsc_ring.h"
 #include "src/serve/router.h"
 #include "src/serve/shard.h"
 #include "src/trace/metrics.h"
@@ -90,6 +99,20 @@ enum class TxnStopPhase : std::uint8_t {
 struct TxnStop {
   TxnStopPhase phase = TxnStopPhase::kNone;
   int apply_ordinal = 0;  // kAfterApply: last participant ordinal applied
+};
+
+// Hot-path metrics block, one per (shard, worker): written only by its
+// owning worker (relaxed atomics on a private cache line, so a concurrent
+// Stats() merge reads torn-free values), merged on scrape. This is what
+// keeps the MetricsRegistry -- shared_mutex plus string-keyed map lookup --
+// entirely off the request path.
+struct alignas(64) WorkerMetrics {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> puts{0};
+  std::atomic<std::uint64_t> gets{0};
+  std::atomic<std::uint64_t> batches{0};
+  Histogram request_ns;  // batch pickup -> completion, simulated ns
+  Histogram batch_size;
 };
 
 // Quiesced-state snapshot (call after Stop()/Pump(), not mid-traffic).
@@ -159,9 +182,18 @@ class KvService {
   // Folds every shard's trace through the profiler and publishes per-shard
   // resource gauges into metrics(): unit/dispatcher duty cycles and sampled
   // queue/FIFO occupancy, labeled serve_duty{shard="0",resource="..."}.
-  // Call quiesced (after Stop()/Pump()), like Stats().
+  // Also publishes the per-worker counter blocks (PublishMetrics). Call
+  // quiesced (after Stop()/Pump()), like Stats().
   void ExportResourceMetrics();
 
+  // Folds the per-worker blocks and service-level atomics into metrics()
+  // under the historical names (serve_completed, serve_request_ns, ...).
+  // Idempotent: counters are stored, not added, so scraping twice does not
+  // double-count. Call quiesced.
+  void PublishMetrics();
+
+  // One merge pass over the worker blocks + service atomics; never touches
+  // the registry (no per-counter name lookups).
   ServeStats Stats() const;
 
  private:
@@ -172,24 +204,41 @@ class KvService {
 
   explicit KvService(const ServeOptions& options);
 
-  void WorkerLoop(int shard_id, int worker);
-  // Executes one batch: single-shard requests under the shard lock with one
-  // doorbell + one fence, then cross-shard transactions (which take their
-  // participants' locks themselves).
-  void ExecuteBatch(int shard_id, int worker,
-                    std::vector<QueuedRequest> batch);
-  Status ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
-                      SimTime batch_start);
+  WorkerMetrics& worker_metrics(int shard_id, int worker) {
+    return worker_metrics_[static_cast<std::size_t>(shard_id) *
+                               static_cast<std::size_t>(
+                                   options_.workers_per_shard) +
+                           static_cast<std::size_t>(worker)];
+  }
 
-  std::uint64_t CounterValue(const std::string& name) const;
+  void WorkerLoop(int shard_id, int worker);
+  // Executes one batch in place (the caller's buffer is reused across
+  // batches): single-shard requests under the shard lock with one doorbell +
+  // one fence, then cross-shard transactions (which take their participants'
+  // locks themselves).
+  void ExecuteBatch(int shard_id, int worker,
+                    std::vector<QueuedRequest>& batch);
+  Status ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
+                      SimTime batch_start, WorkerMetrics& wm);
 
   ServeOptions options_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<BoundedQueue<QueuedRequest>>> queues_;
+  std::vector<std::unique_ptr<MpscRing<QueuedRequest>>> queues_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> txn_counter_{0};
   std::vector<int> pump_rr_;  // per-shard rotating worker clock (Pump mode)
+
+  // Hot-path metrics: per-worker blocks plus service-level atomics for the
+  // paths without a worker identity (admission, direct ExecuteMultiPut,
+  // recovery). The registry below is scrape-time only.
+  std::vector<WorkerMetrics> worker_metrics_;
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> txns_{0};
+  std::atomic<std::uint64_t> txn_redos_{0};
+  Histogram queue_depth_;  // sampled at admission
+  Histogram txn_ns_;
   MetricsRegistry metrics_;
 };
 

@@ -26,7 +26,11 @@ void WriteU64(std::uint8_t* p, std::uint64_t v) {
 }  // namespace
 
 Shard::Shard(const ShardOptions& options, int shard_id)
-    : options_(options), id_(shard_id) {}
+    : options_(options),
+      id_(shard_id),
+      table_full_(
+          ResourceExhausted("shard " + std::to_string(shard_id) +
+                            " table full")) {}
 
 StatusOr<std::unique_ptr<Shard>> Shard::Create(const ShardOptions& options,
                                                int shard_id) {
@@ -81,6 +85,14 @@ StatusOr<std::uint32_t> Shard::SlotFor(std::uint64_t key, bool* exists) const {
     return it->second;
   }
   *exists = false;
+  // index_ and occupied_ are updated in lockstep, so a full table is an O(1)
+  // size check -- without it every miss on a full table walks all
+  // table_slots entries, which is what a saturated shard spends its time on.
+  // The status is prebuilt once: a saturated shard returns it per miss, and
+  // rebuilding the message each time is a string-concatenation chain.
+  if (index_.size() >= options_.table_slots) {
+    return table_full_;
+  }
   const std::uint32_t start =
       static_cast<std::uint32_t>(ShardRouter::Mix(key) % options_.table_slots);
   for (std::uint32_t probe = 0; probe < options_.table_slots; ++probe) {
@@ -89,7 +101,7 @@ StatusOr<std::uint32_t> Shard::SlotFor(std::uint64_t key, bool* exists) const {
       return slot;
     }
   }
-  return ResourceExhausted("shard " + std::to_string(id_) + " table full");
+  return table_full_;
 }
 
 Status Shard::Put(ThreadId t, std::uint64_t key,

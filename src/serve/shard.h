@@ -160,6 +160,7 @@ class Shard {
 
   ShardOptions options_;
   int id_;
+  Status table_full_;  // prebuilt: returned per miss once the table is full
   std::mutex mu_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<Runtime> rt_;

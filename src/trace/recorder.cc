@@ -99,35 +99,80 @@ void TraceRecorder::Record(TraceEvent event) {
   event.epoch = epoch_;
   event.order = ++order_;
   ++recorded_;
-  Ring& ring = tracks_[TrackKey(event.pid, event.tid)];
+  const std::uint64_t key = TrackKey(event.pid, event.tid);
+  if (key != cached_track_key_) {
+    cached_track_ = &tracks_[key];
+    cached_track_key_ = key;
+  }
+  Ring& ring = *cached_track_;
   if (ring.events.size() < options_.ring_capacity) {
     ring.events.push_back(event);
   } else {
     ring.events[ring.next] = event;
     ring.next = (ring.next + 1) % options_.ring_capacity;
+    ++ring.dropped;
     ++dropped_;
   }
   if (options_.feed_metrics) {
+    // O(1) array bumps; the string-keyed registry is only touched when
+    // metrics() folds these in at scrape time.
+    const auto phase = static_cast<std::size_t>(event.phase);
     if (TracePhaseIsCounter(event.phase)) {
-      // Counter samples track a level, not an occurrence: the registry
-      // keeps the last sampled value as a gauge.
-      metrics_.SetGauge(TracePhaseName(event.phase),
-                        static_cast<double>(event.arg0));
+      // Counter samples track a level, not an occurrence: keep the last
+      // sampled value (exported as a gauge).
+      phase_gauge_[phase] = static_cast<double>(event.arg0);
+      phase_gauge_set_[phase] = true;
     } else {
-      metrics_.Increment(TracePhaseName(event.phase));
+      ++phase_counts_[phase];
       if (event.is_span()) {
-        metrics_.AddLatency(TracePhaseName(event.phase), event.dur);
+        phase_latency_[phase].Add(event.dur);
       }
     }
   }
 }
 
+void TraceRecorder::SyncPhaseMetrics() const {
+  // Fold the per-phase accumulators into the registry, storing (not adding)
+  // so repeated scrapes are idempotent. Entries are only created for phases
+  // that actually occurred, preserving empty() for untouched recorders.
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<TracePhase>(i);
+    if (phase_counts_[i] > 0) {
+      metrics_.Counter(TracePhaseName(phase)).store(phase_counts_[i]);
+    }
+    if (phase_latency_[i].count() > 0) {
+      metrics_.Latency(TracePhaseName(phase)) = phase_latency_[i];
+    }
+    if (phase_gauge_set_[i]) {
+      metrics_.SetGauge(TracePhaseName(phase), phase_gauge_[i]);
+    }
+  }
+}
+
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  // Tracks wrap independently, so the merged rings are not automatically a
+  // suffix of the global record stream: the busiest track may have
+  // overwritten events that calmer tracks' retained entries depend on
+  // (a dropped kRetire whose kUnitExec span survives reads as a PPO
+  // violation). Cut everything before the *latest* "oldest retained"
+  // position among wrapped tracks -- past that order, every track is
+  // complete, so the suffix replays exactly like the live stream did.
+  std::uint64_t cutoff = 0;
+  for (const auto& [key, ring] : tracks_) {
+    (void)key;
+    if (ring.dropped > 0) {
+      cutoff = std::max(cutoff, ring.events[ring.next].order);
+    }
+  }
   std::vector<TraceEvent> out;
   out.reserve(recorded_ > dropped_ ? recorded_ - dropped_ : 0);
   for (const auto& [key, ring] : tracks_) {
     (void)key;
-    out.insert(out.end(), ring.events.begin(), ring.events.end());
+    for (const TraceEvent& event : ring.events) {
+      if (event.order >= cutoff) {
+        out.push_back(event);
+      }
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
@@ -138,10 +183,18 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 
 void TraceRecorder::Clear() {
   tracks_.clear();
+  cached_track_key_ = ~0ull;
+  cached_track_ = nullptr;
   recorded_ = 0;
   dropped_ = 0;
   order_ = 0;
   epoch_ = 0;
+  phase_counts_.fill(0);
+  for (Histogram& histogram : phase_latency_) {
+    histogram = Histogram();
+  }
+  phase_gauge_.fill(0.0);
+  phase_gauge_set_.fill(false);
   metrics_.Reset();
 }
 

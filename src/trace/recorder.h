@@ -8,11 +8,18 @@
 // predictable branch, so performance runs are unaffected (checked by the
 // Figure 16/17 benchmarks).
 //
+// Per-phase metrics (feed_metrics) are accumulated into plain arrays indexed
+// by TracePhase -- no string lookup, no registry lock on the record path --
+// and folded into the MetricsRegistry lazily when metrics() is accessed.
+// Callers already read metrics() only once writers have quiesced (the
+// registry's own contract), so the deferred sync is invisible to them.
+//
 // The simulator is single-OS-threaded (application "threads" are virtual
 // clocks), so the recorder needs no synchronization.
 #ifndef SRC_TRACE_RECORDER_H_
 #define SRC_TRACE_RECORDER_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -50,27 +57,49 @@ class TraceRecorder {
   std::uint32_t NextEpoch() { return ++epoch_; }
   std::uint32_t epoch() const { return epoch_; }
 
-  // All retained events, sorted by (epoch, order) -- i.e. real record order.
+  // Retained events, sorted by order -- i.e. real record order. When any
+  // track's ring has wrapped, the result is trimmed to the newest
+  // *globally consistent* suffix of the record stream: tracks wrap at
+  // different rates, and a merge of raw ring contents would keep effects
+  // (exec spans, persists) from un-wrapped tracks whose causes (retires)
+  // the busiest track has already overwritten -- the PPO checker would
+  // report phantom violations on such a stream.
   std::vector<TraceEvent> Snapshot() const;
 
   std::uint64_t recorded() const { return recorded_; }
   std::uint64_t dropped() const { return dropped_; }
   std::size_t track_count() const { return tracks_.size(); }
 
-  MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
+  // Phase metrics accumulated so far, folded into the registry on access
+  // (store, not add -- syncing twice never double-counts). Like every other
+  // registry read, call once writers have quiesced.
+  MetricsRegistry& metrics() {
+    SyncPhaseMetrics();
+    return metrics_;
+  }
+  const MetricsRegistry& metrics() const {
+    SyncPhaseMetrics();
+    return metrics_;
+  }
 
   void Clear();
 
  private:
+  static constexpr std::size_t kPhaseCount =
+      static_cast<std::size_t>(TracePhase::kCount);
+
   struct Ring {
     std::vector<TraceEvent> events;  // capacity-bounded, wrap-around
     std::size_t next = 0;            // write cursor once full
+    std::uint64_t dropped = 0;       // overwrites; >0 means events[next] is
+                                     // the oldest retained entry
   };
 
   static std::uint64_t TrackKey(std::uint32_t pid, std::uint32_t tid) {
     return (static_cast<std::uint64_t>(pid) << 32) | tid;
   }
+
+  void SyncPhaseMetrics() const;
 
   TraceRecorderOptions options_;
   bool enabled_ = true;
@@ -79,7 +108,17 @@ class TraceRecorder {
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
   std::unordered_map<std::uint64_t, Ring> tracks_;
-  MetricsRegistry metrics_;
+  // One-entry track cache: consecutive events land on the same (pid, tid)
+  // often enough that skipping the hash lookup pays.
+  std::uint64_t cached_track_key_ = ~0ull;
+  Ring* cached_track_ = nullptr;
+  // Hot-path phase accumulators (single-threaded, plain loads/stores; the
+  // Histogram's relaxed atomics cost nothing uncontended).
+  std::array<std::uint64_t, kPhaseCount> phase_counts_{};
+  std::array<Histogram, kPhaseCount> phase_latency_;
+  std::array<double, kPhaseCount> phase_gauge_{};
+  std::array<bool, kPhaseCount> phase_gauge_set_{};
+  mutable MetricsRegistry metrics_;
 };
 
 // Instrumentation entry points. `rec` is a TraceRecorder* (may be null);

@@ -137,6 +137,28 @@ TEST(PpoCheckerSynthetic, Invariant2RetireIsPerDevice) {
   EXPECT_EQ(violations[0].invariant, 2);
 }
 
+TEST(PpoCheckerSynthetic, WrappedRingsDoNotFabricateViolations) {
+  // A span and its retire land on different recorder tracks (unit vs
+  // dispatcher tid). Once dispatcher-track chatter wraps its ring past the
+  // retire while the span's quiet track keeps the span, a raw merge would
+  // read as an unordered persist; Snapshot must trim both to the newest
+  // consistent suffix instead, so long runs never fabricate violations.
+  TraceRecorderOptions options;
+  options.ring_capacity = 2;
+  TraceRecorder recorder(options);
+  recorder.Record(UnitExec(7, TraceDevicePid(0), 100, 100, {0, 64}));
+  recorder.Record(DeviceInstant(TracePhase::kRetire, 7, TraceDevicePid(0),
+                                110));
+  recorder.Record(HostEvent(TracePhase::kCpuPersist, 120, {0, 64}));
+  recorder.Record(DeviceInstant(TracePhase::kFifoEnqueue, 8, TraceDevicePid(0),
+                                130));
+  recorder.Record(DeviceInstant(TracePhase::kFifoEnqueue, 9, TraceDevicePid(0),
+                                140));
+  ASSERT_GT(recorder.dropped(), 0u);
+  const auto violations = PpoChecker{}.Check(recorder);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
 // ---- Invariant 3: commits follow synchronization ----------------------------
 
 TEST(PpoCheckerSynthetic, Invariant3FlagsEarlyLogDeletionAcrossDevices) {

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "src/serve/queue.h"
+#include "src/serve/mpsc_ring.h"
 #include "src/serve/router.h"
 #include "src/serve/service.h"
 
@@ -71,14 +71,14 @@ TEST(ShardRouterTest, ParticipantsSortedUnique) {
   }
 }
 
-TEST(BoundedQueueTest, RejectsWhenFull) {
-  BoundedQueue<int> queue(2);
+TEST(MpscRingQueueTest, RejectsWhenFull) {
+  MpscRing<int> queue(2);
   int a = 1;
   int b = 2;
   int c = 3;
   EXPECT_TRUE(queue.TryPush(a));
   EXPECT_TRUE(queue.TryPush(b));
-  EXPECT_FALSE(queue.TryPush(c)) << "a full queue must reject, not block";
+  EXPECT_FALSE(queue.TryPush(c)) << "a full ring must reject, not block";
   auto out = queue.TryPop();
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, 1);
@@ -297,11 +297,70 @@ TEST(KvServiceTest, StatsExposeQueueAndLatencyInstrumentation) {
   EXPECT_GT(stats.request_p50_ns, 0u);
   EXPECT_GE(stats.request_p99_ns, stats.request_p50_ns);
   EXPECT_GT(stats.throughput_ops_per_sec, 0.0);
-  // The registry carries the per-shard depth and batch-size histograms.
+  // The registry is scrape-time only: the depth and batch-size histograms
+  // appear after PublishMetrics folds the worker-local blocks in.
+  (*svc)->PublishMetrics();
   EXPECT_NE((*svc)->metrics().histograms().find("serve_queue_depth"),
             (*svc)->metrics().histograms().end());
   EXPECT_NE((*svc)->metrics().histograms().find("serve_batch_size"),
             (*svc)->metrics().histograms().end());
+}
+
+// Regression for the deferred-metrics split: Stats() is one merge pass over
+// the worker-local blocks and must equal the published registry totals, and
+// both must be idempotent (scraping twice never double-counts).
+TEST(KvServiceTest, StatsEqualsPublishedWorkerLocalCounts) {
+  ServeOptions so = SmallOptions(2);
+  so.workers_per_shard = 2;
+  auto svc = KvService::Create(so);
+  ASSERT_TRUE(svc.ok()) << svc.status().ToString();
+
+  for (std::uint64_t key = 0; key < 60; ++key) {
+    ServeRequest req;
+    req.kind = key % 4 == 3 ? RequestKind::kGet : RequestKind::kPut;
+    req.key = key;
+    if (req.kind == RequestKind::kPut) {
+      req.value = Value(key);
+    }
+    ASSERT_TRUE((*svc)->Submit(std::move(req)).ok());
+  }
+  (*svc)->Pump();
+  std::vector<KvPair> pairs;
+  for (std::uint64_t key = 900; key < 904; ++key) {
+    pairs.push_back(KvPair{key, Value(key)});
+  }
+  ASSERT_TRUE((*svc)->ExecuteMultiPut(pairs).ok());
+
+  const ServeStats first = (*svc)->Stats();
+  EXPECT_EQ(first.completed, 60u);
+  EXPECT_EQ(first.puts, 45u);
+  EXPECT_EQ(first.gets, 15u);
+  EXPECT_EQ(first.txns, 1u);
+
+  // Stats() is pure: calling it again changes nothing.
+  const ServeStats second = (*svc)->Stats();
+  EXPECT_EQ(second.completed, first.completed);
+  EXPECT_EQ(second.batches, first.batches);
+  EXPECT_EQ(second.request_p99_ns, first.request_p99_ns);
+
+  // Publishing twice stores the same totals (no accumulation), and the
+  // registry view agrees with the merge pass.
+  (*svc)->PublishMetrics();
+  (*svc)->PublishMetrics();
+  const auto& counters = (*svc)->metrics().counters();
+  EXPECT_EQ(counters.at("serve_completed").load(), first.completed);
+  EXPECT_EQ(counters.at("serve_puts").load(), first.puts);
+  EXPECT_EQ(counters.at("serve_gets").load(), first.gets);
+  EXPECT_EQ(counters.at("serve_txns").load(), first.txns);
+  EXPECT_EQ(counters.at("serve_batches").load(), first.batches);
+  EXPECT_EQ(counters.at("serve_enqueued").load(), 60u);
+  const auto& histograms = (*svc)->metrics().histograms();
+  // All 60 completions were local requests (the MultiPut ran directly, not
+  // through a queue), so each added one request-latency sample.
+  EXPECT_EQ(histograms.at("serve_request_ns").count(), 60u);
+  EXPECT_EQ(histograms.at("serve_request_ns").Percentile(0.99),
+            first.request_p99_ns);
+  EXPECT_EQ(histograms.at("serve_txn_ns").count(), first.txns);
 }
 
 }  // namespace

@@ -294,6 +294,28 @@ TEST(TraceRecorderTest, RingOverwritesOldestPerTrack) {
   }
 }
 
+TEST(TraceRecorderTest, SnapshotTrimsToConsistentSuffixAcrossTracks) {
+  TraceRecorderOptions options;
+  options.ring_capacity = 4;
+  TraceRecorder recorder(options);
+  // A calm track records before (order 1) and after (order 12) a busy track
+  // wraps its ring (10 events, orders 2..11; the ring keeps 8..11).
+  recorder.Record(Instant(TracePhase::kRetire, TraceDevicePid(0), 0, 5));
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(Instant(TracePhase::kCpuWrite, kTraceHostPid, 0, 10 + i));
+  }
+  recorder.Record(Instant(TracePhase::kRetire, TraceDevicePid(0), 0, 50));
+
+  // The calm track's order-1 event predates the busy ring's oldest retained
+  // entry: emitting it would present a stream with a hole in the middle.
+  // The snapshot is the newest consistent suffix, orders 8..12.
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].order, 8 + i);
+  }
+}
+
 TEST(TraceRecorderTest, MacrosAreSafeWhenDetachedOrDisabled) {
   TraceRecorder* detached = nullptr;
   NEARPM_TRACE_EVENT(detached, .phase = TracePhase::kCpuFence, .ts = 1);
