@@ -30,7 +30,10 @@ const char* ShortModeName(ExecMode mode) {
 RunResult RunWorkload(const RunConfig& config) {
   RuntimeOptions opts;
   opts.mode = config.mode;
-  opts.units_per_device = config.units_per_device;
+  opts.hw = BenchHwConfig();
+  if (config.units_per_device > 0) {
+    opts.hw.units_per_device = config.units_per_device;
+  }
   opts.max_threads = config.threads;
   opts.pm_size = 512ull << 20;
   opts.retain_crash_state = false;  // pure-performance run
@@ -121,10 +124,13 @@ double MeanSpeedup(Mechanism mechanism, ExecMode mode, bool region_time,
 namespace {
 
 std::unique_ptr<TraceRecorder> g_bench_trace;
+hwmodel::HwConfig g_bench_hw;
 
 }  // namespace
 
 TraceRecorder* BenchTrace() { return g_bench_trace.get(); }
+
+const hwmodel::HwConfig& BenchHwConfig() { return g_bench_hw; }
 
 MetricsRegistry& BenchMetrics() {
   static MetricsRegistry* registry = new MetricsRegistry;
@@ -154,6 +160,14 @@ int BenchMain(int argc, char** argv, const std::string& figure) {
       metrics_out = a.substr(sizeof("--metrics-out=") - 1);
     } else if (a.rfind("--json-out=", 0) == 0) {
       json_out = a.substr(sizeof("--json-out=") - 1);
+    } else if (a.rfind("--hw-config=", 0) == 0) {
+      auto hw = hwmodel::LoadHwConfigFile(a.substr(sizeof("--hw-config=") - 1));
+      if (!hw.ok()) {
+        std::fprintf(stderr, "--hw-config: %s\n",
+                     hw.status().ToString().c_str());
+        return 1;
+      }
+      g_bench_hw = *hw;
     } else {
       args.push_back(argv[i]);
     }

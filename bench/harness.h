@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "src/hwmodel/hw_config.h"
 #include "src/trace/recorder.h"
 #include "src/workloads/workload.h"
 
@@ -20,7 +21,9 @@ struct RunConfig {
   Mechanism mechanism = Mechanism::kLogging;
   ExecMode mode = ExecMode::kCpuBaseline;
   int threads = 1;
-  int units_per_device = 4;
+  // > 0 overrides the geometry's unit count (bench_fig19_units sweeps it);
+  // 0 inherits from the process-wide --hw-config geometry (the default).
+  int units_per_device = 0;
   std::uint64_t ops = 400;  // total operations across all threads
   std::uint64_t initial_keys = 500;
   std::uint64_t data_size = 4ull << 20;
@@ -72,9 +75,17 @@ const char* ShortModeName(ExecMode mode);
 //                       quantiles from the trace stream, occupancy gauges,
 //                       and whatever the benchmark added to BenchMetrics().
 //                       Implies trace capture (without the Chrome file).
+//   --hw-config=<file>  load a hwmodel::HwConfig geometry and apply it to
+//                       every harness-built Runtime (BenchHwConfig()).
+//                       Without the flag the seed geometry is used and all
+//                       committed baselines reproduce bit-for-bit.
 //
 // Returns the process exit code.
 int BenchMain(int argc, char** argv, const std::string& figure);
+
+// The process-wide device geometry: the --hw-config file if one was given,
+// the calibrated default otherwise.
+const hwmodel::HwConfig& BenchHwConfig();
 
 // Process-wide registry for metrics a benchmark computes itself (e.g.
 // bench_serve_shards merges each KvService's registry and per-shard duty

@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "src/common/types.h"
-#include "src/sim/cost_model.h"
+#include "src/hwmodel/hw_config.h"
 
 namespace nearpm {
 
@@ -23,8 +23,6 @@ struct RuntimeOptions {
   ExecMode mode = ExecMode::kNdpMultiDelayed;
   // Devices used in multi-device modes (single-device modes use 1).
   int num_devices = 2;
-  int units_per_device = 4;       // Table 3: four NearPM units per device
-  std::size_t fifo_capacity = 32; // Table 3: 32-entry request FIFO
   std::uint64_t pm_size = 64ull << 20;
   // Devices interleave at DIMM-like granularity, so persistent objects and
   // pages span devices (the multi-device scenario of Sections 2.3/3.2).
@@ -45,7 +43,12 @@ struct RuntimeOptions {
   // without applying them. A deliberately broken recovery the fuzzer must
   // catch. Never set in production configurations.
   bool skip_recovery_replay = false;
-  CostModel cost;
+  // Device geometry and platform cost constants. The default reproduces the
+  // seed platform (Table 3 geometry, VCU118 calibration) bit-for-bit; load a
+  // config file into it to evaluate a different design point. Per-device
+  // unit count and FIFO depth live here (hw.units_per_device, hw.fifo_depth)
+  // so the runtime, the fabric and the sweep tool all read one geometry.
+  hwmodel::HwConfig hw;
 
   // Effective device count for the selected mode.
   int EffectiveDevices() const {

@@ -45,8 +45,7 @@ Runtime::Runtime(const RuntimeOptions& options)
   const int devices = options_.EffectiveDevices();
   for (int d = 0; d < devices; ++d) {
     devices_.push_back(std::make_unique<NearPmDevice>(
-        static_cast<DeviceId>(d), &options_.cost, options_.units_per_device,
-        options_.fifo_capacity, &space_));
+        static_cast<DeviceId>(d), &options_.hw, &space_));
   }
 }
 
@@ -113,8 +112,8 @@ void Runtime::CoherenceWriteback(ThreadId t, const AddrRange& range) {
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCoherenceWb, .tid = t,
                      .ts = stats_.now(t), .range = range, .arg0 = n);
   stats_.ChargeAs(t,
-                  static_cast<double>(n) * options_.cost.cpu_flush_line_ns +
-                      options_.cost.cpu_fence_ns,
+                  static_cast<double>(n) * options_.hw.cost.cpu_flush_line_ns +
+                      options_.hw.cost.cpu_fence_ns,
                   CcCategory::kOrdering);
   space_.CpuPersist(range.begin, range.size());
 }
@@ -133,7 +132,7 @@ void Runtime::Write(ThreadId t, PmAddr addr,
                      .ts = stats_.now(t),
                      .range = AddrRange{addr, addr + data.size()});
   stats_.Charge(t, static_cast<double>(CostModel::Lines(data.size())) *
-                       options_.cost.cpu_store_line_ns);
+                       options_.hw.cost.cpu_store_line_ns);
   NEARPM_SAN_HOOK(san_, OnCpuWrite(t, AddrRange{addr, addr + data.size()},
                                    stats_.now(t), analyze::FromStd(loc)));
   space_.CpuWrite(addr, data);
@@ -151,7 +150,7 @@ void Runtime::Read(ThreadId t, PmAddr addr, std::span<std::uint8_t> out,
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuRead, .tid = t,
                      .ts = stats_.now(t), .range = range);
   stats_.Charge(t, static_cast<double>(CostModel::Lines(out.size())) *
-                       options_.cost.cpu_cached_read_ns);
+                       options_.hw.cost.cpu_cached_read_ns);
   NEARPM_SAN_HOOK(san_, OnCpuRead(t, range, stats_.now(t),
                                   analyze::FromStd(loc)));
   space_.CpuRead(addr, out);
@@ -179,9 +178,9 @@ void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size,
   // before the persist (Invariant 2 reads the stream in record order).
   NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCpuPersist, .tid = t,
                     .ts = stats_.now(t),
-                    .dur = NsToTime(options_.cost.CpuPersistNs(size)),
+                    .dur = NsToTime(options_.hw.cost.CpuPersistNs(size)),
                     .range = AddrRange{addr, addr + size});
-  stats_.Charge(t, options_.cost.CpuPersistNs(size));
+  stats_.Charge(t, options_.hw.cost.CpuPersistNs(size));
   space_.CpuPersist(addr, size);
   NEARPM_SAN_HOOK(san_, OnFence(t));
 }
@@ -189,7 +188,7 @@ void Runtime::Persist(ThreadId t, PmAddr addr, std::uint64_t size,
 void Runtime::Fence(ThreadId t) {
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kCpuFence, .tid = t,
                      .ts = stats_.now(t));
-  stats_.Charge(t, options_.cost.cpu_fence_ns);
+  stats_.Charge(t, options_.hw.cost.cpu_fence_ns);
   NEARPM_SAN_HOOK(san_, OnFence(t));
 }
 
@@ -327,7 +326,7 @@ SimTime Runtime::IssueNdp(const NearPmRequest& request,
   if (participants > 1) {
     // Multi-device handler: peers exchange status bits before the duplicated
     // command counts as complete (Figure 11).
-    completion += NsToTime(options_.cost.ndp_remote_status_ns);
+    completion += NsToTime(options_.hw.cost.ndp_remote_status_ns);
     ++counters_.duplicated_commands;
   }
 
@@ -383,9 +382,9 @@ Status Runtime::UndologCreate(PoolId pool, ThreadId t, std::uint64_t tx_id,
   if (!options_.UsesNdp()) {
     // CPU path: metadata generation + persist-copy of the old data.
     stats_.SetCategory(t, CcCategory::kDataMovement);
-    stats_.ChargeAs(t, options_.cost.CpuCopyNs(size),
+    stats_.ChargeAs(t, options_.hw.cost.CpuCopyNs(size),
                     CcCategory::kDataMovement);
-    stats_.ChargeAs(t, options_.cost.cpu_metadata_ns, CcCategory::kMetadata);
+    stats_.ChargeAs(t, options_.hw.cost.cpu_metadata_ns, CcCategory::kMetadata);
     for (const NdpWorkItem& item : work) {
       if (item.kind == NdpWorkItem::Kind::kCopy) {
         scratch_.resize(item.size);
@@ -418,7 +417,7 @@ Status Runtime::ApplyLog(PoolId pool, ThreadId t, PmAddr slot,
                     slot,           size,                target, 0};
   const auto work = BuildWork(req);
   if (!options_.UsesNdp()) {
-    stats_.ChargeAs(t, options_.cost.CpuCopyNs(size),
+    stats_.ChargeAs(t, options_.hw.cost.CpuCopyNs(size),
                     CcCategory::kDataMovement);
     for (const NdpWorkItem& item : work) {
       scratch_.resize(item.size);
@@ -442,7 +441,7 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
   stats_.SetCategory(t, CcCategory::kMetadata);
   if (!options_.UsesNdp()) {
     for (PmAddr slot : slots) {
-      stats_.ChargeAs(t, options_.cost.cpu_log_delete_ns,
+      stats_.ChargeAs(t, options_.hw.cost.cpu_log_delete_ns,
                       CcCategory::kMetadata);
       std::vector<std::uint8_t> zero(kSlotHeaderSize, 0);
       space_.CpuWrite(slot, zero);
@@ -463,7 +462,7 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
     }
     stats_.StallUntil(t, target);
     stats_.ChargeAs(t,
-                    options_.cost.cpu_poll_round_ns *
+                    options_.hw.cost.cpu_poll_round_ns *
                         static_cast<double>(devices_.size()),
                     CcCategory::kOrdering);
     ++counters_.sw_sync_polls;
@@ -492,7 +491,7 @@ Status Runtime::CommitLog(PoolId pool, ThreadId t,
     for (auto& dev : devices_) {
       done = std::max(done, dev->last_completion());
     }
-    done += NsToTime(options_.cost.ndp_remote_status_ns);
+    done += NsToTime(options_.hw.cost.ndp_remote_status_ns);
     pending_syncs_.push_back(PendingSync{sync_id, done});
     ++counters_.delayed_syncs;
     earliest = done;
@@ -528,9 +527,9 @@ StatusOr<SimTime> Runtime::CkpointCreate(PoolId pool, ThreadId t,
                     page,           size,                     slot, epoch};
   const auto work = BuildWork(req);
   if (!options_.UsesNdp()) {
-    stats_.ChargeAs(t, options_.cost.CpuCopyNs(size),
+    stats_.ChargeAs(t, options_.hw.cost.CpuCopyNs(size),
                     CcCategory::kDataMovement);
-    stats_.ChargeAs(t, options_.cost.cpu_metadata_ns, CcCategory::kMetadata);
+    stats_.ChargeAs(t, options_.hw.cost.cpu_metadata_ns, CcCategory::kMetadata);
     for (const NdpWorkItem& item : work) {
       if (item.kind == NdpWorkItem::Kind::kCopy) {
         scratch_.resize(item.size);
@@ -563,7 +562,7 @@ Status Runtime::ShadowCpy(PoolId pool, ThreadId t, PmAddr src_page,
                     src_page,       size,                 dst_page, 0};
   const auto work = BuildWork(req);
   if (!options_.UsesNdp()) {
-    stats_.ChargeAs(t, options_.cost.CpuCopyNs(size),
+    stats_.ChargeAs(t, options_.hw.cost.CpuCopyNs(size),
                     CcCategory::kDataMovement);
     for (const NdpWorkItem& item : work) {
       scratch_.resize(item.size);
@@ -593,7 +592,7 @@ Status Runtime::RawCopy(PoolId pool, ThreadId t, PmAddr src, PmAddr dst,
                     src,            size,               dst,  0};
   const auto work = BuildWork(req);
   if (!options_.UsesNdp()) {
-    stats_.ChargeAs(t, options_.cost.CpuCopyNs(size),
+    stats_.ChargeAs(t, options_.hw.cost.CpuCopyNs(size),
                     CcCategory::kDataMovement);
     for (const NdpWorkItem& item : work) {
       scratch_.resize(item.size);
@@ -622,7 +621,7 @@ void Runtime::DrainDevices(ThreadId t) {
     target = std::max(target, s.done_at);
   }
   stats_.StallUntil(t, target);
-  stats_.ChargeAs(t, options_.cost.cpu_poll_round_ns, CcCategory::kOrdering);
+  stats_.ChargeAs(t, options_.hw.cost.cpu_poll_round_ns, CcCategory::kOrdering);
   NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kCpuDrain, .tid = t,
                     .ts = drain_begin, .dur = stats_.now(t) - drain_begin);
   if (space_.retain_crash_state()) {

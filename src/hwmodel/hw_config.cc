@@ -1,0 +1,506 @@
+#include "src/hwmodel/hw_config.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace nearpm {
+namespace hwmodel {
+
+namespace {
+
+// ---- CostModel field table ---------------------------------------------------
+
+constexpr CostField kCostFields[] = {
+    {"cpu_copy_base_ns", &CostModel::cpu_copy_base_ns},
+    {"cpu_copy_per_line_ns", &CostModel::cpu_copy_per_line_ns},
+    {"cpu_flush_line_ns", &CostModel::cpu_flush_line_ns},
+    {"cpu_drain_ns", &CostModel::cpu_drain_ns},
+    {"cpu_fence_ns", &CostModel::cpu_fence_ns},
+    {"cpu_cached_read_ns", &CostModel::cpu_cached_read_ns},
+    {"cpu_pm_read_ns", &CostModel::cpu_pm_read_ns},
+    {"cpu_store_line_ns", &CostModel::cpu_store_line_ns},
+    {"cpu_metadata_ns", &CostModel::cpu_metadata_ns},
+    {"cpu_log_delete_ns", &CostModel::cpu_log_delete_ns},
+    {"cpu_alloc_ns", &CostModel::cpu_alloc_ns},
+    {"cpu_page_switch_ns", &CostModel::cpu_page_switch_ns},
+    {"cmd_post_ns", &CostModel::cmd_post_ns},
+    {"cmd_device_pipeline_ns", &CostModel::cmd_device_pipeline_ns},
+    {"cpu_poll_round_ns", &CostModel::cpu_poll_round_ns},
+    {"ndp_setup_ns", &CostModel::ndp_setup_ns},
+    {"ndp_dma_ns_per_byte", &CostModel::ndp_dma_ns_per_byte},
+    {"ndp_ls_per_line_ns", &CostModel::ndp_ls_per_line_ns},
+    {"ndp_metadata_ns", &CostModel::ndp_metadata_ns},
+    {"ndp_log_delete_ns", &CostModel::ndp_log_delete_ns},
+    {"ndp_remote_status_ns", &CostModel::ndp_remote_status_ns},
+    {"net_link_latency_ns", &CostModel::net_link_latency_ns},
+    {"net_link_ns_per_byte", &CostModel::net_link_ns_per_byte},
+    {"net_frame_bytes", &CostModel::net_frame_bytes},
+    {"net_doorbell_ns", &CostModel::net_doorbell_ns},
+};
+constexpr std::size_t kNumCostFields =
+    sizeof(kCostFields) / sizeof(kCostFields[0]);
+// Every CostModel constant must have a row: the struct is doubles only, so
+// its size pins the count.
+static_assert(sizeof(CostModel) == kNumCostFields * sizeof(double),
+              "CostModel gained a field; add it to kCostFields");
+
+// ---- Tiny JSON-subset reader -------------------------------------------------
+//
+// Grammar: object of "key": value pairs where a value is a number, a quoted
+// string, or (at the top level only) another object of the same shape. No
+// arrays, booleans, nulls, escapes or exponents-with-signs beyond what
+// strtod accepts. Errors carry the byte offset.
+
+struct JsonScalar {
+  enum class Kind { kNumber, kString };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string str;
+};
+
+// Insertion order preserved so "applied in a fixed section order" is about
+// the schema, not the author's key order within a section.
+using FlatObject = std::vector<std::pair<std::string, JsonScalar>>;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    error = message + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') {
+      return Fail("expected string");
+    }
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        return Fail("escape sequences are not supported");
+      }
+      out->push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool ParseScalar(JsonScalar* out) {
+    SkipWs();
+    if (pos >= text.size()) {
+      return Fail("expected value");
+    }
+    if (text[pos] == '"') {
+      out->kind = JsonScalar::Kind::kString;
+      return ParseString(&out->str);
+    }
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) {
+      return Fail("expected number");
+    }
+    if (!std::isfinite(v)) {
+      return Fail("number is not finite");
+    }
+    out->kind = JsonScalar::Kind::kNumber;
+    out->number = v;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  // Parses { "k": scalar, ... } into `out`. Nested objects are rejected
+  // (depth is handled one level up, by the schema walker).
+  bool ParseFlatObject(FlatObject* out) {
+    if (!Expect('{')) return false;
+    SkipWs();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (pos < text.size() && text[pos] == '{') {
+        return Fail("section '" + key + "' may not nest further");
+      }
+      JsonScalar value;
+      if (!ParseScalar(&value)) return false;
+      for (const auto& [existing, unused] : *out) {
+        if (existing == key) {
+          return Fail("duplicate key '" + key + "' in section");
+        }
+      }
+      out->emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    return Expect('}');
+  }
+};
+
+// One top-level entry: either a scalar or a named section of scalars.
+struct TopEntry {
+  std::string key;
+  bool is_section = false;
+  JsonScalar scalar;
+  FlatObject section;
+};
+
+bool ParseTopLevel(Parser* p, std::vector<TopEntry>* out) {
+  if (!p->Expect('{')) return false;
+  p->SkipWs();
+  if (p->pos < p->text.size() && p->text[p->pos] == '}') {
+    ++p->pos;
+  } else {
+    while (true) {
+      TopEntry entry;
+      if (!p->ParseString(&entry.key)) return false;
+      if (!p->Expect(':')) return false;
+      p->SkipWs();
+      if (p->pos < p->text.size() && p->text[p->pos] == '{') {
+        entry.is_section = true;
+        if (!p->ParseFlatObject(&entry.section)) return false;
+      } else {
+        if (!p->ParseScalar(&entry.scalar)) return false;
+      }
+      out->push_back(std::move(entry));
+      p->SkipWs();
+      if (p->pos < p->text.size() && p->text[p->pos] == ',') {
+        ++p->pos;
+        continue;
+      }
+      break;
+    }
+    if (!p->Expect('}')) return false;
+  }
+  p->SkipWs();
+  if (p->pos != p->text.size()) {
+    return p->Fail("trailing content after config object");
+  }
+  return true;
+}
+
+// ---- Schema application ------------------------------------------------------
+
+Status WrongKind(const std::string& where, const char* want) {
+  return InvalidArgument("hwconfig: '" + where + "' must be a " + want);
+}
+
+Status NumberField(const std::string& where, const JsonScalar& v,
+                   double* out) {
+  if (v.kind != JsonScalar::Kind::kNumber) {
+    return WrongKind(where, "number");
+  }
+  *out = v.number;
+  return Status::Ok();
+}
+
+Status IntField(const std::string& where, const JsonScalar& v, long* out) {
+  double d = 0.0;
+  Status st = NumberField(where, v, &d);
+  if (!st.ok()) return st;
+  if (d != std::floor(d)) {
+    return InvalidArgument("hwconfig: '" + where + "' must be an integer");
+  }
+  *out = static_cast<long>(d);
+  return Status::Ok();
+}
+
+Status RateField(const std::string& where, const JsonScalar& v,
+                 double* ns_per_byte) {
+  double gbps = 0.0;
+  Status st = NumberField(where, v, &gbps);
+  if (!st.ok()) return st;
+  if (gbps <= 0.0) {
+    return InvalidArgument("hwconfig: '" + where + "' must be > 0 GB/s");
+  }
+  *ns_per_byte = 1.0 / gbps;
+  return Status::Ok();
+}
+
+Status ApplyPipeline(const FlatObject& section, PipelineConfig* pipe) {
+  for (const auto& [key, value] : section) {
+    const std::string where = "pipeline." + key;
+    if (key == "dispatch_ns") {
+      Status st = NumberField(where, value, &pipe->dispatch_ns);
+      if (!st.ok()) return st;
+    } else if (key == "writeback_ns") {
+      Status st = NumberField(where, value, &pipe->writeback_ns);
+      if (!st.ok()) return st;
+    } else if (key == "lsq_depth") {
+      long n = 0;
+      Status st = IntField(where, value, &n);
+      if (!st.ok()) return st;
+      pipe->lsq_depth = static_cast<int>(n);
+    } else {
+      return InvalidArgument("hwconfig: unknown key '" + where + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ApplyBandwidth(const FlatObject& section, CostModel* cost) {
+  for (const auto& [key, value] : section) {
+    const std::string where = "bandwidth." + key;
+    if (key == "axi_gbps") {
+      Status st = RateField(where, value, &cost->ndp_dma_ns_per_byte);
+      if (!st.ok()) return st;
+    } else if (key == "net_gbps") {
+      Status st = RateField(where, value, &cost->net_link_ns_per_byte);
+      if (!st.ok()) return st;
+    } else {
+      return InvalidArgument("hwconfig: unknown key '" + where + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ApplyLatency(const FlatObject& section, CostModel* cost) {
+  for (const auto& [key, value] : section) {
+    const std::string where = "latency." + key;
+    double* target = nullptr;
+    if (key == "pm_read_ns") {
+      target = &cost->cpu_pm_read_ns;
+    } else if (key == "cmd_post_ns") {
+      target = &cost->cmd_post_ns;
+    } else if (key == "cmd_pipeline_ns") {
+      target = &cost->cmd_device_pipeline_ns;
+    } else if (key == "ndp_setup_ns") {
+      target = &cost->ndp_setup_ns;
+    } else if (key == "net_link_ns") {
+      target = &cost->net_link_latency_ns;
+    } else {
+      return InvalidArgument("hwconfig: unknown key '" + where + "'");
+    }
+    Status st = NumberField(where, value, target);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status ApplyCost(const FlatObject& section, CostModel* cost) {
+  for (const auto& [key, value] : section) {
+    double CostModel::* member = FindCostField(key);
+    if (member == nullptr) {
+      return InvalidArgument("hwconfig: unknown key 'cost." + key +
+                             "' (not a CostModel constant)");
+    }
+    Status st = NumberField("cost." + key, value, &(cost->*member));
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const CostField* CostFields(std::size_t* count) {
+  *count = kNumCostFields;
+  return kCostFields;
+}
+
+double CostModel::* FindCostField(std::string_view name) {
+  for (const CostField& field : kCostFields) {
+    if (name == field.name) {
+      return field.member;
+    }
+  }
+  return nullptr;
+}
+
+Status HwConfig::Validate() const {
+  if (schema_version != kHwSchemaVersion) {
+    return InvalidArgument(
+        "hwconfig: schema_version " + std::to_string(schema_version) +
+        " is not supported (this build understands version " +
+        std::to_string(kHwSchemaVersion) + ")");
+  }
+  if (units_per_device < 1 || units_per_device > 64) {
+    return InvalidArgument("hwconfig: units_per_device must be in [1, 64]");
+  }
+  if (fifo_depth < 1 || fifo_depth > 4096) {
+    return InvalidArgument("hwconfig: fifo_depth must be in [1, 4096]");
+  }
+  if (pipeline.lsq_depth < 0 || pipeline.lsq_depth > 1024) {
+    return InvalidArgument("hwconfig: pipeline.lsq_depth must be in [0, 1024]");
+  }
+  if (!(pipeline.dispatch_ns >= 0.0) || pipeline.dispatch_ns > 1e6 ||
+      !(pipeline.writeback_ns >= 0.0) || pipeline.writeback_ns > 1e6) {
+    return InvalidArgument(
+        "hwconfig: pipeline stage widths must be in [0, 1e6] ns");
+  }
+  for (const CostField& field : kCostFields) {
+    const double v = cost.*field.member;
+    if (!std::isfinite(v) || v < 0.0) {
+      return InvalidArgument(std::string("hwconfig: cost.") + field.name +
+                             " must be finite and >= 0");
+    }
+  }
+  if (cost.ndp_dma_ns_per_byte <= 0.0 || cost.net_link_ns_per_byte <= 0.0) {
+    return InvalidArgument(
+        "hwconfig: per-byte rates must be > 0 (infinite bandwidth is not a "
+        "geometry)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<HwConfig> ParseHwConfig(std::string_view text) {
+  Parser parser;
+  parser.text = text;
+  std::vector<TopEntry> entries;
+  if (!ParseTopLevel(&parser, &entries)) {
+    return InvalidArgument("hwconfig: " + parser.error);
+  }
+
+  HwConfig config;
+  // Sections are collected first and applied in schema order below, so
+  // "cost" overrides an alias no matter where the author placed it.
+  const FlatObject* pipeline = nullptr;
+  const FlatObject* bandwidth = nullptr;
+  const FlatObject* latency = nullptr;
+  const FlatObject* cost = nullptr;
+  std::map<std::string, int> seen;
+  for (const TopEntry& entry : entries) {
+    if (++seen[entry.key] > 1) {
+      return InvalidArgument("hwconfig: duplicate key '" + entry.key + "'");
+    }
+    if (entry.key == "schema_version") {
+      long v = 0;
+      Status st = IntField(entry.key, entry.scalar, &v);
+      if (!st.ok()) return st;
+      config.schema_version = static_cast<int>(v);
+    } else if (entry.key == "name") {
+      if (entry.scalar.kind != JsonScalar::Kind::kString || entry.is_section) {
+        return WrongKind(entry.key, "string");
+      }
+      config.name = entry.scalar.str;
+    } else if (entry.key == "units_per_device") {
+      long v = 0;
+      Status st = IntField(entry.key, entry.scalar, &v);
+      if (!st.ok()) return st;
+      config.units_per_device = static_cast<int>(v);
+    } else if (entry.key == "fifo_depth") {
+      long v = 0;
+      Status st = IntField(entry.key, entry.scalar, &v);
+      if (!st.ok()) return st;
+      if (v < 0) {
+        return InvalidArgument("hwconfig: fifo_depth must be >= 0");
+      }
+      config.fifo_depth = static_cast<std::size_t>(v);
+    } else if (entry.key == "pipeline") {
+      if (!entry.is_section) return WrongKind(entry.key, "section");
+      pipeline = &entry.section;
+    } else if (entry.key == "bandwidth") {
+      if (!entry.is_section) return WrongKind(entry.key, "section");
+      bandwidth = &entry.section;
+    } else if (entry.key == "latency") {
+      if (!entry.is_section) return WrongKind(entry.key, "section");
+      latency = &entry.section;
+    } else if (entry.key == "cost") {
+      if (!entry.is_section) return WrongKind(entry.key, "section");
+      cost = &entry.section;
+    } else {
+      return InvalidArgument("hwconfig: unknown key '" + entry.key + "'");
+    }
+  }
+  if (pipeline != nullptr) {
+    Status st = ApplyPipeline(*pipeline, &config.pipeline);
+    if (!st.ok()) return st;
+  }
+  if (bandwidth != nullptr) {
+    Status st = ApplyBandwidth(*bandwidth, &config.cost);
+    if (!st.ok()) return st;
+  }
+  if (latency != nullptr) {
+    Status st = ApplyLatency(*latency, &config.cost);
+    if (!st.ok()) return st;
+  }
+  if (cost != nullptr) {
+    Status st = ApplyCost(*cost, &config.cost);
+    if (!st.ok()) return st;
+  }
+  Status st = config.Validate();
+  if (!st.ok()) return st;
+  return config;
+}
+
+StatusOr<HwConfig> LoadHwConfigFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFound("hwconfig: cannot read " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  StatusOr<HwConfig> config = ParseHwConfig(text.str());
+  if (!config.ok()) {
+    return Status(config.status().code(),
+                  path + ": " + config.status().message());
+  }
+  return config;
+}
+
+std::string WriteHwConfig(const HwConfig& config) {
+  std::ostringstream out;
+  // %.17g round-trips doubles exactly; trim the noise for integral values.
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "{\n";
+  out << "  \"schema_version\": " << config.schema_version << ",\n";
+  out << "  \"name\": \"" << config.name << "\",\n";
+  out << "  \"units_per_device\": " << config.units_per_device << ",\n";
+  out << "  \"fifo_depth\": " << config.fifo_depth << ",\n";
+  out << "  \"pipeline\": {\"dispatch_ns\": " << num(config.pipeline.dispatch_ns)
+      << ", \"writeback_ns\": " << num(config.pipeline.writeback_ns)
+      << ", \"lsq_depth\": " << config.pipeline.lsq_depth << "},\n";
+  out << "  \"cost\": {\n";
+  for (std::size_t i = 0; i < kNumCostFields; ++i) {
+    out << "    \"" << kCostFields[i].name
+        << "\": " << num(config.cost.*kCostFields[i].member)
+        << (i + 1 < kNumCostFields ? ",\n" : "\n");
+  }
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hwmodel
+}  // namespace nearpm

@@ -7,14 +7,15 @@
 
 namespace nearpm {
 
-NearPmDevice::NearPmDevice(DeviceId id, const CostModel* cost, int num_units,
-                           std::size_t fifo_capacity, PmSpace* space)
+NearPmDevice::NearPmDevice(DeviceId id, const hwmodel::HwConfig* hw,
+                           PmSpace* space)
     : id_(id),
-      cost_(cost),
+      hw_(hw),
+      cost_(&hw->cost),
       space_(space),
-      units_(num_units),
-      fifo_capacity_(fifo_capacity) {
-  assert(num_units >= 1);
+      pipe_(hw),
+      fifo_capacity_(hw->fifo_depth) {
+  assert(hw_->units_per_device >= 1);
   assert(fifo_capacity_ >= 1);
 }
 
@@ -80,22 +81,49 @@ NearPmDevice::IssueResult NearPmDevice::Issue(
     ++stats_.dispatcher_conflict_stalls;
   }
 
-  // 5. Execute on the earliest-available NearPM unit.
+  // 5. Execute on the earliest-available NearPM unit. With the configured
+  //    pipeline enabled the request flows dispatch -> execute -> writeback
+  //    and its kUnitExec span covers the full pipeline residency, so every
+  //    downstream consumer (FIFO free point, conflict window, profiler)
+  //    sees one consistent [dispatch, writeback] lifetime.
   const double work_ns = NdpWorkNs(*cost_, work);
-  int unit_index = 0;
-  result.completion = units_.Schedule(start_lb, work_ns, &unit_index);
-  const SimTime dispatch_time = result.completion - NsToTime(work_ns);
+  const PipelineSchedule sched = pipe_.Schedule(start_lb, work_ns);
+  result.completion = sched.wb_end;
+  const SimTime dispatch_time = sched.dispatch_start;
+  if (sched.lsq_stalled) {
+    ++stats_.lsq_stalls;
+  }
   fifo_dispatch_times_.push_back(dispatch_time);
   NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kFifoDepth,
                      .pid = TraceDevicePid(id_), .tid = kTraceDispatcherTid,
                      .ts = result.cpu_release,
                      .arg0 = fifo_dispatch_times_.size());
+  const std::uint32_t unit_tid =
+      kTraceUnitTidBase + static_cast<std::uint32_t>(sched.unit);
   NEARPM_TRACE_SPAN(
       trace_, .phase = TracePhase::kUnitExec, .pid = TraceDevicePid(id_),
-      .tid = kTraceUnitTidBase + static_cast<std::uint32_t>(unit_index),
-      .ts = dispatch_time, .dur = result.completion - dispatch_time,
-      .seq = seq, .range = write_range, .range2 = read_range,
+      .tid = unit_tid, .ts = dispatch_time,
+      .dur = result.completion - dispatch_time, .seq = seq,
+      .range = write_range, .range2 = read_range,
       .arg0 = static_cast<std::uint64_t>(op), .arg1 = cpu_now);
+  if (pipe_.pipelined()) {
+    // Per-stage residency, nested inside the kUnitExec span. Only emitted
+    // for an enabled pipeline so default-geometry traces match the seed.
+    const auto stage_span = [&](PipeStage stage, SimTime ts, SimTime end) {
+      if (end > ts) {
+        NEARPM_TRACE_SPAN(trace_, .phase = TracePhase::kPipeStage,
+                          .pid = TraceDevicePid(id_), .tid = unit_tid,
+                          .ts = ts, .dur = end - ts, .seq = seq,
+                          .arg0 = static_cast<std::uint64_t>(stage));
+      }
+    };
+    stage_span(PipeStage::kDispatch, sched.dispatch_start, sched.dispatch_end);
+    stage_span(PipeStage::kExecute, sched.exec_start, sched.exec_end);
+    stage_span(PipeStage::kWriteback, sched.wb_start, sched.wb_end);
+    NEARPM_TRACE_EVENT(trace_, .phase = TracePhase::kLsqDepth,
+                       .pid = TraceDevicePid(id_), .tid = unit_tid,
+                       .ts = dispatch_time, .arg0 = sched.lsq_occupancy);
+  }
 
   inflight_.Prune(cpu_now);
   inflight_.Insert(
@@ -222,7 +250,7 @@ void NearPmDevice::HostWritebackAccepted(const AddrRange& range, SimTime now) {
 }
 
 void NearPmDevice::Reset() {
-  units_.Reset();
+  pipe_.Reset();
   deferred_.Reset();
   fifo_dispatch_times_.clear();
   inflight_.Clear();

@@ -18,10 +18,11 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/hwmodel/hw_config.h"
 #include "src/ndp/inflight_table.h"
+#include "src/ndp/pipeline.h"
 #include "src/ndp/request.h"
 #include "src/pmem/pm_space.h"
-#include "src/sim/cost_model.h"
 #include "src/sim/timeline.h"
 #include "src/trace/recorder.h"
 
@@ -33,13 +34,16 @@ struct DeviceStats {
   std::uint64_t host_access_stalls = 0;          // CPU loads stalled on NDP
   std::uint64_t host_buffered_writebacks = 0;    // clwbs queued behind NDP
   std::uint64_t fifo_backpressure_stalls = 0;
+  std::uint64_t lsq_stalls = 0;  // dispatch waited on a full unit LSQ
   double unit_busy_ns = 0.0;
 };
 
 class NearPmDevice {
  public:
-  NearPmDevice(DeviceId id, const CostModel* cost, int num_units,
-               std::size_t fifo_capacity, PmSpace* space);
+  // `hw` supplies the full device geometry -- unit count, FIFO depth,
+  // pipeline stage widths and the platform cost constants -- and must
+  // outlive the device (the Runtime's options own it).
+  NearPmDevice(DeviceId id, const hwmodel::HwConfig* hw, PmSpace* space);
 
   NearPmDevice(const NearPmDevice&) = delete;
   NearPmDevice& operator=(const NearPmDevice&) = delete;
@@ -100,7 +104,7 @@ class NearPmDevice {
   }
 
   DeviceId id() const { return id_; }
-  int num_units() const { return units_.size(); }
+  int num_units() const { return pipe_.size(); }
   const DeviceStats& stats() const { return stats_; }
 
   // Attaches (or detaches, with nullptr) the event recorder.
@@ -114,9 +118,10 @@ class NearPmDevice {
 
  private:
   DeviceId id_;
-  const CostModel* cost_;
+  const hwmodel::HwConfig* hw_;
+  const CostModel* cost_;  // &hw_->cost, cached for the timing formulas
   PmSpace* space_;
-  UnitPool units_;
+  UnitPipeline pipe_;
   Timeline deferred_;  // the multi-device handler's maintenance engine
   std::size_t fifo_capacity_;
   std::deque<SimTime> fifo_dispatch_times_;  // when each occupant leaves

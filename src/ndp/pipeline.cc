@@ -1,0 +1,93 @@
+#include "src/ndp/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nearpm {
+
+UnitPipeline::UnitPipeline(const hwmodel::HwConfig* hw)
+    : hw_(hw),
+      pipelined_(hw->pipeline.enabled()),
+      units_(static_cast<std::size_t>(hw->units_per_device)) {
+  assert(hw->units_per_device >= 1);
+}
+
+PipelineSchedule UnitPipeline::Schedule(SimTime earliest, double work_ns) {
+  PipelineSchedule sched;
+
+  if (!pipelined_) {
+    // Seed semantics, reproduced decision-for-decision: pick the unit whose
+    // (single) execute timeline frees first, strictly earlier wins, ties go
+    // to the lowest index -- the same scan sim::UnitPool performs -- and run
+    // the work as one span. Dispatch and writeback collapse to instants.
+    Unit* best = &units_.front();
+    for (Unit& u : units_) {
+      if (u.exec.free_at() < best->exec.free_at()) {
+        best = &u;
+      }
+    }
+    sched.unit = static_cast<int>(best - units_.data());
+    sched.exec_end = best->exec.Schedule(earliest, work_ns);
+    sched.exec_start = sched.exec_end - NsToTime(work_ns);
+    sched.dispatch_start = sched.dispatch_end = sched.exec_start;
+    sched.wb_start = sched.wb_end = sched.exec_end;
+    return sched;
+  }
+
+  // Pipelined path: choose by earliest dispatch availability (the dispatch
+  // stage is the admission point; ties to the lowest index).
+  Unit* best = &units_.front();
+  for (Unit& u : units_) {
+    if (u.dispatch.free_at() < best->dispatch.free_at()) {
+      best = &u;
+    }
+  }
+  sched.unit = static_cast<int>(best - units_.data());
+
+  // LSQ admission: entries whose writeback completed by the candidate
+  // dispatch time have drained; if the bound still holds the unit full,
+  // dispatch waits for the oldest in-flight request.
+  SimTime admit = std::max(best->dispatch.free_at(), earliest);
+  while (!best->lsq.empty() && best->lsq.front() <= admit) {
+    best->lsq.pop_front();
+  }
+  const int bound = hw_->pipeline.lsq_depth;
+  while (bound > 0 && best->lsq.size() >= static_cast<std::size_t>(bound)) {
+    admit = std::max(admit, best->lsq.front());
+    best->lsq.pop_front();
+    sched.lsq_stalled = true;
+  }
+
+  sched.dispatch_end = best->dispatch.Schedule(admit, hw_->pipeline.dispatch_ns);
+  sched.dispatch_start =
+      sched.dispatch_end - NsToTime(hw_->pipeline.dispatch_ns);
+  sched.exec_end = best->exec.Schedule(sched.dispatch_end, work_ns);
+  sched.exec_start = sched.exec_end - NsToTime(work_ns);
+  sched.wb_end =
+      best->writeback.Schedule(sched.exec_end, hw_->pipeline.writeback_ns);
+  sched.wb_start = sched.wb_end - NsToTime(hw_->pipeline.writeback_ns);
+
+  best->lsq.push_back(sched.wb_end);
+  sched.lsq_occupancy = best->lsq.size();
+  return sched;
+}
+
+SimTime UnitPipeline::AllIdleAt() const {
+  SimTime t = 0;
+  for (const Unit& u : units_) {
+    t = std::max({t, u.dispatch.free_at(), u.exec.free_at(),
+                  u.writeback.free_at()});
+  }
+  return t;
+}
+
+void UnitPipeline::Reset() {
+  for (Unit& u : units_) {
+    u.dispatch.Reset();
+    u.exec.Reset();
+    u.writeback.Reset();
+    u.lsq.clear();
+  }
+}
+
+}  // namespace nearpm

@@ -40,8 +40,8 @@ Delivery Fabric::Send(int src, int dst, std::size_t bytes, SimTime earliest,
   Timeline& link = links_[static_cast<std::size_t>(d.link)];
   d.sent = std::max(link.free_at(), earliest);
   const SimTime serialized =
-      link.Schedule(earliest, options_.cost.NetSerializeNs(bytes));
-  d.delivered = serialized + NsToTime(options_.cost.net_link_latency_ns);
+      link.Schedule(earliest, options_.hw.cost.NetSerializeNs(bytes));
+  d.delivered = serialized + NsToTime(options_.hw.cost.net_link_latency_ns);
 
   ++messages_[static_cast<int>(kind)];
   bytes_[static_cast<int>(kind)] += bytes;

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/hwmodel/hw_config.h"
 #include "src/sim/timeline.h"
 #include "src/trace/recorder.h"
 
@@ -47,7 +48,12 @@ const char* MsgKindName(MsgKind kind);
 
 struct FabricOptions {
   int nodes = 1;
-  CostModel cost;
+  // Platform geometry; the fabric reads the net_* constants out of hw.cost.
+  // Sharing the runtime's HwConfig keeps link speed and device speed one
+  // coherent design point (the seed kept a second, default-constructed
+  // CostModel here, silently pinning the fabric to the calibration even
+  // when the runtime's constants changed).
+  hwmodel::HwConfig hw;
   // Optional observer for kNetXfer/kNetDeliver events and message counters.
   // Not owned; may be null. Typically the fabric gets its own recorder so
   // link tracks do not interleave with any single node's trace.
@@ -84,7 +90,7 @@ class Fabric {
   std::uint64_t BytesSent(MsgKind kind) const;
   std::uint64_t total_messages() const;
 
-  const CostModel& cost() const { return options_.cost; }
+  const CostModel& cost() const { return options_.hw.cost; }
   TraceRecorder* trace() const { return options_.trace; }
 
   // Forgets all link occupancy (fresh virtual clocks after a crash epoch).

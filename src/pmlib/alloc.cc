@@ -88,7 +88,7 @@ StatusOr<PmAddr> PmAllocator::Alloc(ThreadId t, std::uint64_t size) {
   }
   Runtime& rt = pool_->rt();
   rt.stats().SetCategory(t, CcCategory::kAllocation);
-  rt.Compute(t, rt.options().cost.cpu_alloc_ns);
+  rt.Compute(t, rt.options().hw.cost.cpu_alloc_ns);
 
   std::uint64_t chunk;
   ChunkHeader h;

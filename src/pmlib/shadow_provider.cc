@@ -142,7 +142,7 @@ StatusOr<bool> ShadowPagingProvider::CommitOp(ThreadId t,
   for (const auto& [vpage, pages] : ts.shadowed) {
     rt.Store<std::uint64_t>(t, PteAddr(vpage), pages.second);
     rt.Persist(t, PteAddr(vpage), 8);
-    rt.Compute(t, rt.options().cost.cpu_page_switch_ns);
+    rt.Compute(t, rt.options().hw.cost.cpu_page_switch_ns);
     pte_cache_[vpage] = pages.second;
   }
   // 4. Disarm and recycle the old pages.

@@ -148,7 +148,16 @@ Profile BuildProfile(const std::vector<TraceEvent>& events,
       TrackAcc& acc = tracks[{e.pid, e.tid}];
       ++acc.spans;
       acc.intervals.push_back({e.epoch, e.ts, e.end()});
-      SpanTotal& total = profile.span_totals[TracePhaseName(e.phase)];
+      // Pipeline-stage spans are keyed per stage so a sweep can compare
+      // dispatch vs execute vs writeback residency directly. They nest
+      // inside their request's kUnitExec span on the same unit track, so
+      // the duty-cycle union above is unchanged by their presence.
+      std::string key = TracePhaseName(e.phase);
+      if (e.phase == TracePhase::kPipeStage) {
+        key += '_';
+        key += PipeStageName(static_cast<PipeStage>(e.arg0));
+      }
+      SpanTotal& total = profile.span_totals[key];
       ++total.count;
       total.total_ns += e.dur;
     }

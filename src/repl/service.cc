@@ -67,6 +67,7 @@ StatusOr<std::unique_ptr<ReplicatedKvService>> ReplicatedKvService::Create(
   so.table_slots = options.table_slots;
   so.value_size = options.value_size;
   so.workers = options.workers_per_shard;
+  so.hw = options.hw;
   const int nodes = options.groups * options.replicas;
   for (int n = 0; n < nodes; ++n) {
     auto shard = Shard::Create(so, n);
@@ -80,6 +81,7 @@ StatusOr<std::unique_ptr<ReplicatedKvService>> ReplicatedKvService::Create(
   service->fabric_recorder_ = std::make_unique<TraceRecorder>();
   net::FabricOptions fo;
   fo.nodes = nodes;
+  fo.hw = options.hw;
   fo.trace = service->fabric_recorder_.get();
   service->fabric_ = std::make_unique<net::Fabric>(fo);
 
@@ -214,7 +216,7 @@ void ReplicatedKvService::ExecuteBatch(int group, int worker,
       const ThreadId tid = shard.WorkerTid(worker);
       Runtime& rt = shard.rt();
       const SimTime batch_start = rt.Now(tid);
-      rt.Compute(tid, rt.options().cost.cmd_post_ns);
+      rt.Compute(tid, rt.options().hw.cost.cmd_post_ns);
       for (QueuedRequest& item : gets) {
         rt.Compute(tid, options_.request_parse_ns);
         const SimTime start = rt.Now(tid);
@@ -501,7 +503,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
     Shard& primary = *nodes_[router_.PrimaryNodeFor(g)];
     rendezvous = std::max(rendezvous, primary.Now(primary.TxnTid()));
   }
-  rendezvous += coord.rt().options().cost.ndp_remote_status_ns;
+  rendezvous += coord.rt().options().hw.cost.ndp_remote_status_ns;
   for (int g : participants) {
     Shard& primary = *nodes_[router_.PrimaryNodeFor(g)];
     primary.rt().WaitUntil(primary.TxnTid(), rendezvous);

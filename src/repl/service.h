@@ -96,6 +96,9 @@ struct ReplOptions {
   std::uint32_t table_slots = 512;
   std::uint32_t value_size = 64;
   double request_parse_ns = 50.0;
+  // Device geometry shared by every node's shard and by the fabric links
+  // (default = seed platform).
+  hwmodel::HwConfig hw;
 };
 
 // Crash injection for the replication fuzzer: where ExecuteReplicatedTxn

@@ -46,6 +46,7 @@ StatusOr<std::unique_ptr<KvService>> KvService::Create(
   so.table_slots = options.table_slots;
   so.value_size = options.value_size;
   so.workers = options.workers_per_shard;
+  so.hw = options.hw;
   for (int s = 0; s < options.shards; ++s) {
     auto shard = Shard::Create(so, s);
     if (!shard.ok()) {
@@ -235,7 +236,7 @@ void KvService::ExecuteBatch(int shard_id, int worker,
     const SimTime batch_start = rt.Now(tid);
     // The amortization: one submission doorbell and one fence cover the
     // whole batch (batch_max = 1 degenerates to per-request costs).
-    rt.Compute(tid, rt.options().cost.cmd_post_ns);
+    rt.Compute(tid, rt.options().hw.cost.cmd_post_ns);
     NEARPM_TRACE_EVENT(&shard.recorder(), .phase = TracePhase::kServeEnqueue,
                        .pid = kTraceServePid,
                        .tid = static_cast<std::uint32_t>(tid),
@@ -372,7 +373,7 @@ Status KvService::ExecuteMultiPut(const std::vector<KvPair>& pairs,
   for (int p : participants) {
     rendezvous = std::max(rendezvous, shards_[p]->Now(shards_[p]->TxnTid()));
   }
-  rendezvous += coord.rt().options().cost.ndp_remote_status_ns;
+  rendezvous += coord.rt().options().hw.cost.ndp_remote_status_ns;
   for (int p : participants) {
     shards_[p]->rt().WaitUntil(shards_[p]->TxnTid(), rendezvous);
   }

@@ -66,6 +66,8 @@ struct ServeOptions {
   std::uint32_t table_slots = 512;
   std::uint32_t value_size = 64;
   double request_parse_ns = 50.0;  // front-end CPU cost per request
+  // Device geometry shared by every shard (default = seed platform).
+  hwmodel::HwConfig hw;
 };
 
 enum class RequestKind : std::uint8_t { kGet, kPut, kMultiPut };

@@ -50,6 +50,7 @@ StatusOr<std::unique_ptr<Shard>> Shard::Create(const ShardOptions& options,
   ro.pm_size = options.pm_size;
   ro.enforce_ppo = options.enforce_ppo;
   ro.skip_recovery_replay = options.skip_recovery_replay;
+  ro.hw = options.hw;
   ro.max_threads = std::max(16, options.workers + 2);
   shard->recorder_ = std::make_unique<TraceRecorder>();
   shard->rt_ = std::make_unique<Runtime>(ro);

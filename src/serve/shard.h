@@ -39,6 +39,8 @@ struct ShardOptions {
   std::uint32_t table_slots = 512;  // KV capacity per shard (power of two)
   std::uint32_t value_size = 64;    // fixed value payload per key
   int workers = 2;                  // virtual worker threads on this shard
+  // Device geometry for this shard's simulated machine (default = seed).
+  hwmodel::HwConfig hw;
 };
 
 struct KvPair {

@@ -76,8 +76,24 @@ const char* TracePhaseName(TracePhase phase) {
       return "net_deliver";
     case TracePhase::kReplDoorbell:
       return "repl_doorbell";
+    case TracePhase::kPipeStage:
+      return "pipe_stage";
+    case TracePhase::kLsqDepth:
+      return "lsq_depth";
     case TracePhase::kCount:
       break;
+  }
+  return "?";
+}
+
+const char* PipeStageName(PipeStage stage) {
+  switch (stage) {
+    case PipeStage::kDispatch:
+      return "dispatch";
+    case PipeStage::kExecute:
+      return "execute";
+    case PipeStage::kWriteback:
+      return "writeback";
   }
   return "?";
 }
@@ -85,7 +101,8 @@ const char* TracePhaseName(TracePhase phase) {
 bool TracePhaseIsCounter(TracePhase phase) {
   return phase == TracePhase::kFifoDepth ||
          phase == TracePhase::kInflightDepth ||
-         phase == TracePhase::kServeQueueDepth;
+         phase == TracePhase::kServeQueueDepth ||
+         phase == TracePhase::kLsqDepth;
 }
 
 TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)

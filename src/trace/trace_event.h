@@ -74,8 +74,18 @@ enum class TracePhase : std::uint8_t {
   kNetDeliver,   // instant: message handed to the destination node
   kReplDoorbell, // instant: one-sided redo doorbell rung on a backup
                  // (range = redo record; NPM007 audits persistence)
+  // ---- Pipelined NDP units (src/hwmodel geometry; appended for the same
+  // stable-contract reason). Only emitted when the configured pipeline is
+  // enabled, so default-geometry traces are byte-identical to the seed.
+  kPipeStage, // span: one pipeline stage's residency on a unit
+              // (arg0 = PipeStage, nested inside the request's kUnitExec)
+  kLsqDepth,  // counter: unit in-flight (LSQ) population after a dispatch
   kCount,
 };
+
+// arg0 of a kPipeStage span.
+enum class PipeStage : std::uint8_t { kDispatch = 0, kExecute, kWriteback };
+const char* PipeStageName(PipeStage stage);
 
 const char* TracePhaseName(TracePhase phase);
 // True for the counter-sample phases above: instants whose arg0 is a

@@ -31,7 +31,7 @@ TEST_P(PlatformSweepTest, CrashConsistentOnAnyPlatform) {
                               : ExecMode::kNdpMultiDelayed;
   opts.num_devices = pc.devices;
   opts.interleave_stripe = pc.stripe;
-  opts.units_per_device = pc.units;
+  opts.hw.units_per_device = pc.units;
   opts.pm_size = 256ull << 20;
   Runtime rt(opts);
   PoolArena arena;

@@ -256,7 +256,7 @@ struct DeviceFixture : public ::testing::Test {
     o.size = 1 << 20;
     o.num_devices = 1;
     space = std::make_unique<PmSpace>(o);
-    device = std::make_unique<NearPmDevice>(0, &cost, 4, 32, space.get());
+    device = std::make_unique<NearPmDevice>(0, &hw, space.get());
   }
 
   std::vector<NdpWorkItem> CopyWork(PmAddr src, PmAddr dst, std::uint64_t n) {
@@ -268,7 +268,8 @@ struct DeviceFixture : public ::testing::Test {
     return {item};
   }
 
-  CostModel cost;
+  hwmodel::HwConfig hw;
+  const CostModel& cost = hw.cost;
   std::unique_ptr<PmSpace> space;
   std::unique_ptr<NearPmDevice> device;
 };

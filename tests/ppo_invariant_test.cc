@@ -88,7 +88,7 @@ TEST(PpoInvariant2Test, NdpManagedWritesDoNotBlockCpu) {
   const SimTime after = f.rt->Now(0);
   // The CPU paid only the command post, far less than the 4 kB copy.
   EXPECT_LT(static_cast<double>(after - before),
-            f.rt->options().cost.NdpCopyNs(4096));
+            f.rt->options().hw.cost.NdpCopyNs(4096));
 }
 
 // Invariant 3 (persist-before-synchronization): at a crash, if anything

@@ -189,7 +189,7 @@ TEST(RuntimeOrderingTest, StoreAndPersistDoNotStall) {
   // without stalling; the conflicting log copy becomes crash-durable.
   const SimTime before = f.rt.Now(0);
   f.rt.Persist(0, 0, 64);
-  EXPECT_LT(f.rt.Now(0), before + NsToTime(f.rt.options().cost.NdpCopyNs(4096)));
+  EXPECT_LT(f.rt.Now(0), before + NsToTime(f.rt.options().hw.cost.NdpCopyNs(4096)));
   EXPECT_GT(f.rt.device(0).stats().host_buffered_writebacks, 0u);
   // Crash: both the buffered update and the log must be durable.
   Rng rng(1);

@@ -205,6 +205,130 @@ TEST(KvServiceTest, ThreadedModeServesAndStops) {
   EXPECT_EQ((*svc)->PpoViolations(), 0u);
 }
 
+TEST(KvServiceTest, PipelinedGeometryDeterministicAcrossPumpAndThreads) {
+  // Same pre-filled queues, one worker per shard: the deterministic Pump
+  // drain and the threaded drain must produce identical simulated timings
+  // and identical pipeline stall counts under a pipelined LSQ-bounded
+  // geometry. OS scheduling may interleave shards differently but must not
+  // leak into any virtual-time observable.
+  ServeOptions so = SmallOptions(2);
+  // One slow unit (0.25 GB/s AXI, 256 B payloads -> ~1 us of DMA per put):
+  // execute drains far slower than the CPU posts, the dispatch stage runs
+  // ahead, and the 2-deep LSQ actually fills.
+  so.value_size = 256;
+  so.hw.units_per_device = 1;
+  so.hw.cost.ndp_dma_ns_per_byte = 4.0;
+  so.hw.pipeline.dispatch_ns = 20;
+  so.hw.pipeline.writeback_ns = 40;
+  so.hw.pipeline.lsq_depth = 2;
+
+  auto pumped = KvService::Create(so);
+  ASSERT_TRUE(pumped.ok()) << pumped.status().ToString();
+  auto threaded = KvService::Create(so);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+  std::vector<std::future<ServeResult>> pump_futs;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    auto fut = (*pumped)->Submit(std::move(req));
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    pump_futs.push_back(std::move(*fut));
+  }
+  (*pumped)->Pump();
+  for (auto& fut : pump_futs) {
+    EXPECT_TRUE(fut.get().status.ok());
+  }
+
+  // Enqueue everything before Start() so the threaded worker sees the same
+  // full queue (and thus the same batch boundaries) as Pump did.
+  std::vector<std::future<ServeResult>> thr_futs;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    ServeRequest req;
+    req.kind = RequestKind::kPut;
+    req.key = key;
+    req.value = Value(key);
+    auto fut = (*threaded)->Submit(std::move(req));
+    ASSERT_TRUE(fut.ok()) << fut.status().ToString();
+    thr_futs.push_back(std::move(*fut));
+  }
+  (*threaded)->Start();
+  for (auto& fut : thr_futs) {
+    EXPECT_TRUE(fut.get().status.ok());
+  }
+  (*threaded)->Stop();
+
+  const ServeStats a = (*pumped)->Stats();
+  const ServeStats b = (*threaded)->Stats();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.request_p50_ns, b.request_p50_ns);
+  EXPECT_EQ(a.request_p99_ns, b.request_p99_ns);
+  for (int s = 0; s < 2; ++s) {
+    Runtime& ra = (*pumped)->shard(s).rt();
+    Runtime& rb = (*threaded)->shard(s).rt();
+    ASSERT_EQ(ra.num_devices(), rb.num_devices());
+    std::uint64_t stalls_a = 0;
+    std::uint64_t stalls_b = 0;
+    for (int d = 0; d < ra.num_devices(); ++d) {
+      stalls_a += ra.device(d).stats().lsq_stalls;
+      stalls_b += rb.device(d).stats().lsq_stalls;
+    }
+    EXPECT_EQ(stalls_a, stalls_b) << "shard " << s;
+    EXPECT_EQ(ra.stats().MaxThreadTime(), rb.stats().MaxThreadTime())
+        << "shard " << s;
+  }
+}
+
+TEST(KvServiceTest, PipelinedLsqStallsAreReproducibleAcrossPumpRuns) {
+  // Two virtual workers on one shard: their command streams interleave on
+  // the single slow unit, the 1-deep LSQ fills, and two identical Pump
+  // services must count the same stalls and land on the same virtual clock.
+  ServeOptions so = SmallOptions(1);
+  so.workers_per_shard = 2;
+  so.value_size = 256;
+  so.hw.units_per_device = 1;
+  so.hw.cost.ndp_dma_ns_per_byte = 4.0;  // 0.25 GB/s: ~1 us of DMA per put
+  so.hw.pipeline.dispatch_ns = 20;
+  so.hw.pipeline.writeback_ns = 40;
+  so.hw.pipeline.lsq_depth = 1;
+
+  const auto run = [&so]() -> std::pair<std::uint64_t, SimTime> {
+    auto svc = KvService::Create(so);
+    EXPECT_TRUE(svc.ok()) << svc.status().ToString();
+    std::vector<std::future<ServeResult>> futures;
+    for (std::uint64_t key = 0; key < 120; ++key) {
+      ServeRequest req;
+      req.kind = RequestKind::kPut;
+      req.key = key;
+      req.value = Value(key);
+      auto fut = (*svc)->Submit(std::move(req));
+      EXPECT_TRUE(fut.ok()) << fut.status().ToString();
+      futures.push_back(std::move(*fut));
+    }
+    (*svc)->Pump();
+    for (auto& fut : futures) {
+      EXPECT_TRUE(fut.get().status.ok());
+    }
+    Runtime& rt = (*svc)->shard(0).rt();
+    std::uint64_t stalls = 0;
+    for (int d = 0; d < rt.num_devices(); ++d) {
+      stalls += rt.device(d).stats().lsq_stalls;
+    }
+    return {stalls, rt.stats().MaxThreadTime()};
+  };
+
+  const auto [stalls_a, clock_a] = run();
+  const auto [stalls_b, clock_b] = run();
+  EXPECT_GT(stalls_a, 0u) << "the bounded LSQ was never exercised";
+  EXPECT_EQ(stalls_a, stalls_b);
+  EXPECT_EQ(clock_a, clock_b);
+}
+
 TEST(KvServiceTest, MultiPutAppliesToEveryShard) {
   auto svc = KvService::Create(SmallOptions(3));
   ASSERT_TRUE(svc.ok()) << svc.status().ToString();

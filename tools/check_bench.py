@@ -11,6 +11,20 @@ Usage:
     check_bench.py --baseline bench/baselines/fig17_smoke.json \
                    --current fig17.json [--tolerance 0.25]
 
+A baseline may override the tolerance per counter with a top-level
+"tolerance_overrides" object (it is bookkeeping, not a benchmark entry):
+
+    {
+      "tolerance_overrides": {
+        "sweep/u4/f32:wall_ms": 1000.0,   # per benchmark+counter
+        "throughput_mops": 0.0            # per counter, any benchmark
+      },
+      "benchmarks": [...]
+    }
+
+Lookup order: "<name>:<counter>", then "<counter>", then --tolerance.
+0.0 demands bit-exact reproduction; large values admit wall-clock noise.
+
 Exit code 0 when every counter is within tolerance, 1 otherwise.
 """
 
@@ -43,7 +57,18 @@ def counters(benchmark):
 def load_benchmarks(path):
     with open(path) as fh:
         data = json.load(fh)
-    return {b["name"]: counters(b) for b in data["benchmarks"]}
+    overrides = data.get("tolerance_overrides", {})
+    return {b["name"]: counters(b) for b in data["benchmarks"]}, overrides
+
+
+def tolerance_for(overrides, name, key, default):
+    """Per-counter tolerance: benchmark-qualified first, bare counter next."""
+    qualified = f"{name}:{key}"
+    if qualified in overrides:
+        return float(overrides[qualified])
+    if key in overrides:
+        return float(overrides[key])
+    return default
 
 
 def relative_drift(old, new):
@@ -65,8 +90,8 @@ def main():
                              "(default 0.25)")
     args = parser.parse_args()
 
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
+    baseline, overrides = load_benchmarks(args.baseline)
+    current, _ = load_benchmarks(args.current)
 
     failures = []
     checked = 0
@@ -80,15 +105,16 @@ def main():
                 continue
             new = current[name][key]
             drift = relative_drift(old, new)
+            tolerance = tolerance_for(overrides, name, key, args.tolerance)
             checked += 1
-            marker = "FAIL" if drift > args.tolerance else "ok"
+            marker = "FAIL" if drift > tolerance else "ok"
             print(f"{marker:4} {name} {key}: baseline={old:g} "
                   f"current={new:g} drift={drift:.1%}")
-            if drift > args.tolerance:
+            if drift > tolerance:
                 failures.append(
                     f"{name}: counter '{key}' drifted {drift:.1%} "
                     f"(baseline={old:g} actual={new:g}, "
-                    f"tolerance {args.tolerance:.0%})")
+                    f"tolerance {tolerance:.0%})")
 
     print(f"{checked} counters checked against {args.baseline}, "
           f"{len(failures)} failures")

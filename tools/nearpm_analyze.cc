@@ -168,7 +168,7 @@ int RunWorkloadAnalyzed(const CliOptions& cli, analyze::PmSanitizer* san,
 
   RuntimeOptions opts;
   opts.mode = *mode;
-  opts.units_per_device = cli.units;
+  opts.hw.units_per_device = cli.units;
   opts.max_threads = cli.threads;
   opts.pm_size = 512ull << 20;
   opts.retain_crash_state = true;  // the sanitizer needs retire bookkeeping

@@ -13,7 +13,9 @@
 //                       (default nearpm_md)
 //   --ops=N             operations after setup (default 400)
 //   --threads=N         application threads (default 1)
-//   --units=N           NearPM units per device (default 4)
+//   --hw-config=FILE    device geometry (hwmodel schema; default calibrated)
+//   --units=N           NearPM units per device (overrides the geometry;
+//                       default 4 when no --hw-config is given)
 //   --initial-keys=N    setup population (default 500)
 //   --seed=N            workload RNG seed (default 7)
 //   --trace-in=FILE     profile this raw trace instead of running anything
@@ -46,7 +48,9 @@ struct CliOptions {
   std::string mode = "nearpm_md";
   std::uint64_t ops = 400;
   int threads = 1;
-  int units = 4;
+  int units = 4;  // reports the effective value after geometry resolution
+  bool units_given = false;
+  std::string hw_config;
   std::uint64_t initial_keys = 500;
   std::uint64_t seed = 7;
   std::string trace_in;
@@ -80,7 +84,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--workload=NAME] [--mechanism=NAME] [--mode=NAME]\n"
-      "          [--ops=N] [--threads=N] [--units=N] [--initial-keys=N]\n"
+      "          [--ops=N] [--threads=N] [--units=N] [--hw-config=FILE]\n"
+      "          [--initial-keys=N]\n"
       "          [--seed=N] [--trace-in=FILE] [--report-out=FILE]\n"
       "          [--folded-out=FILE] [--profile-out=FILE] [--raw-out=FILE]\n"
       "          [--trace-out=FILE]\n",
@@ -107,11 +112,16 @@ std::string ConfigJson(const CliOptions& cli) {
   if (!cli.trace_in.empty()) {
     return "{\"source\": \"trace\"}";
   }
+  // The hw_config key only appears when a geometry file was loaded, so the
+  // default config line stays byte-identical to the committed baselines.
+  const std::string hw = cli.hw_config.empty()
+                             ? ""
+                             : ", \"hw_config\": \"" + cli.hw_config + "\"";
   return "{\"workload\": \"" + cli.workload + "\", \"mechanism\": \"" +
          cli.mechanism + "\", \"mode\": \"" + cli.mode +
          "\", \"ops\": " + std::to_string(cli.ops) +
          ", \"threads\": " + std::to_string(cli.threads) +
-         ", \"units_per_device\": " + std::to_string(cli.units) +
+         ", \"units_per_device\": " + std::to_string(cli.units) + hw +
          ", \"initial_keys\": " + std::to_string(cli.initial_keys) +
          ", \"seed\": " + std::to_string(cli.seed) + "}";
 }
@@ -119,7 +129,7 @@ std::string ConfigJson(const CliOptions& cli) {
 // Runs the configured workload with a trace attached; mirrors the bench
 // harness's measurement loop (setup excluded from nothing here: the profile
 // wants the whole run, setup included, since attribution is per-request).
-int RunWorkloadTraced(const CliOptions& cli, std::vector<TraceEvent>* events) {
+int RunWorkloadTraced(CliOptions& cli, std::vector<TraceEvent>* events) {
   const auto mechanism = fuzz::MechanismFromName(cli.mechanism);
   if (!mechanism.ok()) {
     std::fprintf(stderr, "unknown mechanism %s\n", cli.mechanism.c_str());
@@ -139,7 +149,18 @@ int RunWorkloadTraced(const CliOptions& cli, std::vector<TraceEvent>* events) {
   TraceRecorder recorder;
   RuntimeOptions opts;
   opts.mode = *mode;
-  opts.units_per_device = cli.units;
+  if (!cli.hw_config.empty()) {
+    auto hw = hwmodel::LoadHwConfigFile(cli.hw_config);
+    if (!hw.ok()) {
+      std::fprintf(stderr, "--hw-config: %s\n", hw.status().ToString().c_str());
+      return 2;
+    }
+    opts.hw = *hw;
+  }
+  if (cli.units_given || cli.hw_config.empty()) {
+    opts.hw.units_per_device = cli.units;
+  }
+  cli.units = opts.hw.units_per_device;  // report the effective geometry
   opts.max_threads = cli.threads;
   opts.pm_size = 512ull << 20;
   opts.retain_crash_state = false;
@@ -198,6 +219,9 @@ int ProfMain(int argc, char** argv) {
     } else if (MatchFlag(argv[i], "--units", &value)) {
       if (!ParseUint(value, &n) || n == 0) return Usage(argv[0]);
       cli.units = static_cast<int>(n);
+      cli.units_given = true;
+    } else if (MatchFlag(argv[i], "--hw-config", &value)) {
+      cli.hw_config = value;
     } else if (MatchFlag(argv[i], "--initial-keys", &value)) {
       if (!ParseUint(value, &cli.initial_keys)) return Usage(argv[0]);
     } else if (MatchFlag(argv[i], "--seed", &value)) {

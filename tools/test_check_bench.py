@@ -17,18 +17,20 @@ import unittest
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
-def bench_json(throughput):
-    return {
-        "benchmarks": [
-            {
-                "name": "fig16/btree",
-                "iterations": 1,
-                "real_time": 1.0,
-                "cpu_time": 1.0,
-                "throughput_mops": throughput,
-            }
-        ]
+def bench_json(throughput, wall_ms=None, tolerance_overrides=None):
+    entry = {
+        "name": "fig16/btree",
+        "iterations": 1,
+        "real_time": 1.0,
+        "cpu_time": 1.0,
+        "throughput_mops": throughput,
     }
+    if wall_ms is not None:
+        entry["wall_ms"] = wall_ms
+    payload = {"benchmarks": [entry]}
+    if tolerance_overrides is not None:
+        payload["tolerance_overrides"] = tolerance_overrides
+    return payload
 
 
 def profile_json(stall_share, exec_share, violations=0):
@@ -101,6 +103,36 @@ class GateTest(unittest.TestCase):
         self.assertIn("baseline=4", result.stderr)
         self.assertIn("actual=8", result.stderr)
         self.assertIn("100.0%", result.stderr)
+
+    def test_check_bench_override_loosens_noisy_counter(self):
+        # wall_ms drifts 10x, but the baseline marks it as unbounded noise;
+        # the deterministic counter still matches, so the gate passes.
+        baseline = self.write("base.json", bench_json(
+            4.0, wall_ms=10.0, tolerance_overrides={"wall_ms": 1000.0}))
+        current = self.write("cur.json", bench_json(4.0, wall_ms=100.0))
+        result = self.run_tool("check_bench.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_check_bench_qualified_override_wins_over_bare(self):
+        overrides = {"wall_ms": 0.0, "fig16/btree:wall_ms": 1000.0}
+        baseline = self.write("base.json", bench_json(
+            4.0, wall_ms=10.0, tolerance_overrides=overrides))
+        current = self.write("cur.json", bench_json(4.0, wall_ms=100.0))
+        result = self.run_tool("check_bench.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_check_bench_zero_override_demands_exactness(self):
+        # 5% drift is inside the default 25% tolerance, but the baseline
+        # pins throughput_mops to bit-exact reproduction.
+        baseline = self.write("base.json", bench_json(
+            4.0, tolerance_overrides={"throughput_mops": 0.0}))
+        current = self.write("cur.json", bench_json(4.2))
+        result = self.run_tool("check_bench.py", "--baseline", baseline,
+                               "--current", current)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("counter 'throughput_mops'", result.stderr)
 
     # ---- profile_diff --------------------------------------------------------
 
