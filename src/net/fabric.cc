@@ -30,10 +30,20 @@ const char* MsgKindName(MsgKind kind) {
 Fabric::Fabric(const FabricOptions& options)
     : options_(options), nodes_(std::max(options.nodes, 1)) {
   links_.resize(static_cast<std::size_t>(nodes_) * nodes_);
+  if (options_.trace != nullptr) {
+    // Resolve the per-kind counters once; the registry's map nodes are
+    // stable, so the cached references stay valid for the fabric's life.
+    MetricsRegistry& metrics = options_.trace->metrics();
+    for (int k = 0; k < static_cast<int>(MsgKind::kCount); ++k) {
+      const char* name = MsgKindName(static_cast<MsgKind>(k));
+      msg_counters_[k] = &metrics.Counter(std::string("net_msgs_") + name);
+      byte_counters_[k] = &metrics.Counter(std::string("net_bytes_") + name);
+    }
+  }
 }
 
 Delivery Fabric::Send(int src, int dst, std::size_t bytes, SimTime earliest,
-                      MsgKind kind, std::uint64_t seq) {
+                      MsgKind kind, std::uint64_t seq, std::uint64_t trace_id) {
   std::lock_guard lock(mu_);
   Delivery d;
   d.link = LinkIndex(src, dst);
@@ -51,17 +61,19 @@ Delivery Fabric::Send(int src, int dst, std::size_t bytes, SimTime earliest,
                     .tid = static_cast<std::uint32_t>(d.link), .ts = d.sent,
                     .dur = serialized > d.sent ? serialized - d.sent : 1,
                     .seq = seq, .arg0 = static_cast<std::uint64_t>(kind),
-                    .arg1 = bytes);
+                    .arg1 = bytes, .trace = trace_id);
   NEARPM_TRACE_EVENT(trace, .phase = TracePhase::kNetDeliver,
                      .pid = kTraceReplPid,
                      .tid = static_cast<std::uint32_t>(dst),
                      .ts = d.delivered, .seq = seq,
                      .arg0 = static_cast<std::uint64_t>(kind),
-                     .arg1 = bytes);
+                     .arg1 = bytes, .trace = trace_id);
   if (trace != nullptr) {
-    trace->metrics().Increment(std::string("net_msgs_") + MsgKindName(kind));
-    trace->metrics().Increment(std::string("net_bytes_") + MsgKindName(kind),
-                               bytes);
+    // Cached handles resolved at construction: no registry lookup here.
+    msg_counters_[static_cast<int>(kind)]->fetch_add(
+        1, std::memory_order_relaxed);
+    byte_counters_[static_cast<int>(kind)]->fetch_add(
+        bytes, std::memory_order_relaxed);
   }
   return d;
 }

@@ -76,9 +76,13 @@ class Fabric {
 
   // Occupies the src->dst link with one framed message of `bytes` payload
   // starting no earlier than `earliest` (the sender's clock). Thread-safe:
-  // worker threads of different shards may share the fabric.
+  // worker threads of different shards may share the fabric. `trace` is the
+  // originating request's trace id, stamped on the kNetXfer/kNetDeliver
+  // events so a cross-node request timeline can follow the message (the
+  // fabric recorder is shared by all senders, so the id must ride the call,
+  // not a recorder-local scope).
   Delivery Send(int src, int dst, std::size_t bytes, SimTime earliest,
-                MsgKind kind, std::uint64_t seq = 0);
+                MsgKind kind, std::uint64_t seq = 0, std::uint64_t trace = 0);
 
   int nodes() const { return nodes_; }
   int LinkIndex(int src, int dst) const { return src * nodes_ + dst; }
@@ -103,6 +107,13 @@ class Fabric {
   std::vector<Timeline> links_;  // nodes * nodes, directed
   std::uint64_t messages_[static_cast<int>(MsgKind::kCount)] = {};
   std::uint64_t bytes_[static_cast<int>(MsgKind::kCount)] = {};
+  // Per-kind registry counters resolved once at construction (the registry
+  // guarantees reference stability), so Send() increments two atomics
+  // instead of performing two string-keyed map lookups per message.
+  std::atomic<std::uint64_t>* msg_counters_[static_cast<int>(MsgKind::kCount)] =
+      {};
+  std::atomic<std::uint64_t>* byte_counters_[static_cast<int>(
+      MsgKind::kCount)] = {};
 };
 
 }  // namespace net

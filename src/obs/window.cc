@@ -1,0 +1,209 @@
+#include "src/obs/window.h"
+
+#include <algorithm>
+
+namespace nearpm {
+namespace obs {
+
+namespace {
+
+// True when bucket/entry content at absolute time `lo` (bucket start or
+// sample timestamp) is still inside (now - window, now].
+bool InWindow(SimTime lo, SimTime span, SimTime now, SimTime window) {
+  if (lo > now) {
+    return false;  // ahead of the snapshot point
+  }
+  if (now < window) {
+    return true;  // the window still reaches back to t = 0
+  }
+  return lo + span > now - window;
+}
+
+}  // namespace
+
+void WindowStats::MergeFrom(const WindowStats& other) {
+  window_ns = std::max(window_ns, other.window_ns);
+  now = std::max(now, other.now);
+  count += other.count;
+  errors += other.errors;
+  depth_samples += other.depth_samples;
+  depth_sum += other.depth_sum;
+  depth_max = std::max(depth_max, other.depth_max);
+  slow_k = std::max(slow_k, other.slow_k);
+  latency.MergeFrom(other.latency);
+  slowest.insert(slowest.end(), other.slowest.begin(), other.slowest.end());
+  std::sort(slowest.begin(), slowest.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.latency_ns > b.latency_ns;
+            });
+  if (slow_k >= 0 && slowest.size() > static_cast<std::size_t>(slow_k)) {
+    slowest.resize(static_cast<std::size_t>(slow_k));
+  }
+}
+
+SlidingWindow::SlidingWindow(const WindowOptions& options)
+    : options_(options) {
+  if (options_.buckets < 1) {
+    options_.buckets = 1;
+  }
+  if (options_.window_ns < static_cast<SimTime>(options_.buckets)) {
+    options_.window_ns = static_cast<SimTime>(options_.buckets);
+  }
+  if (options_.slow_k < 0) {
+    options_.slow_k = 0;
+  }
+  buckets_.reset(new Bucket[static_cast<std::size_t>(options_.buckets)]);
+  if (options_.slow_k > 0) {
+    slow_.reset(new SlowSlot[static_cast<std::size_t>(options_.slow_k)]);
+  }
+}
+
+SlidingWindow::Bucket& SlidingWindow::TouchBucket(SimTime now) {
+  const SimTime width = BucketWidth();
+  const std::uint64_t abs = now / width;
+  Bucket& bucket =
+      buckets_[abs % static_cast<std::uint64_t>(options_.buckets)];
+  const std::uint64_t tag = abs + 1;
+  if (bucket.tag.load(std::memory_order_relaxed) != tag) {
+    // The wheel came back around: recycle in place. Readers skip the bucket
+    // while the tag is 0, so they never mix the old and new population.
+    bucket.tag.store(0, std::memory_order_release);
+    bucket.count.store(0, std::memory_order_relaxed);
+    bucket.errors.store(0, std::memory_order_relaxed);
+    bucket.depth_samples.store(0, std::memory_order_relaxed);
+    bucket.depth_sum.store(0, std::memory_order_relaxed);
+    bucket.depth_max.store(0, std::memory_order_relaxed);
+    bucket.latency = Histogram();
+    bucket.tag.store(tag, std::memory_order_release);
+  }
+  return bucket;
+}
+
+void SlidingWindow::RecordLatency(SimTime now, SimTime latency_ns, bool error,
+                                  std::uint64_t trace) {
+  Bucket& bucket = TouchBucket(now);
+  bucket.count.fetch_add(1, std::memory_order_relaxed);
+  if (error) {
+    bucket.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  bucket.latency.Add(latency_ns);
+  NoteSlow(now, latency_ns, trace);
+}
+
+void SlidingWindow::RecordDepth(SimTime now, std::uint64_t depth) {
+  Bucket& bucket = TouchBucket(now);
+  bucket.depth_samples.fetch_add(1, std::memory_order_relaxed);
+  bucket.depth_sum.fetch_add(depth, std::memory_order_relaxed);
+  std::uint64_t seen = bucket.depth_max.load(std::memory_order_relaxed);
+  while (depth > seen && !bucket.depth_max.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void SlidingWindow::NoteSlow(SimTime now, SimTime latency_ns,
+                             std::uint64_t trace) {
+  if (options_.slow_k == 0) {
+    return;
+  }
+  // Pick the victim slot: any empty or decayed-out entry first, else the
+  // fastest retained one -- and only displace that if we are slower.
+  int victim = -1;
+  SimTime victim_latency = 0;
+  for (int i = 0; i < options_.slow_k; ++i) {
+    SlowSlot& slot = slow_[i];
+    if (slot.version.load(std::memory_order_relaxed) == 0 ||
+        !InWindow(slot.ts.load(std::memory_order_relaxed), 1, now,
+                  options_.window_ns)) {
+      victim = i;
+      victim_latency = 0;
+      break;
+    }
+    const SimTime l = slot.latency_ns.load(std::memory_order_relaxed);
+    if (victim < 0 || l < victim_latency) {
+      victim = i;
+      victim_latency = l;
+    }
+  }
+  if (victim < 0 || latency_ns <= victim_latency) {
+    return;
+  }
+  SlowSlot& slot = slow_[victim];
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v | 1, std::memory_order_release);  // mark in flux
+  slot.trace.store(trace, std::memory_order_relaxed);
+  slot.latency_ns.store(latency_ns, std::memory_order_relaxed);
+  slot.ts.store(now, std::memory_order_relaxed);
+  slot.version.store((v | 1) + 1, std::memory_order_release);
+}
+
+WindowStats SlidingWindow::Snapshot(SimTime now) const {
+  WindowStats stats;
+  stats.window_ns = options_.window_ns;
+  stats.now = now;
+  stats.slow_k = options_.slow_k;
+  const SimTime width = BucketWidth();
+  for (int i = 0; i < options_.buckets; ++i) {
+    const Bucket& bucket = buckets_[i];
+    const std::uint64_t t1 = bucket.tag.load(std::memory_order_acquire);
+    if (t1 == 0) {
+      continue;  // idle or mid-recycle
+    }
+    const SimTime lo = static_cast<SimTime>(t1 - 1) * width;
+    if (!InWindow(lo, width, now, options_.window_ns)) {
+      continue;  // decayed out (or ahead of `now`)
+    }
+    const std::uint64_t count = bucket.count.load(std::memory_order_relaxed);
+    const std::uint64_t errors = bucket.errors.load(std::memory_order_relaxed);
+    const std::uint64_t ds =
+        bucket.depth_samples.load(std::memory_order_relaxed);
+    const std::uint64_t dsum = bucket.depth_sum.load(std::memory_order_relaxed);
+    const std::uint64_t dmax = bucket.depth_max.load(std::memory_order_relaxed);
+    Histogram latency = bucket.latency;  // copy before the tag re-check
+    if (bucket.tag.load(std::memory_order_acquire) != t1) {
+      continue;  // recycled under us
+    }
+    stats.count += count;
+    stats.errors += errors;
+    stats.depth_samples += ds;
+    stats.depth_sum += dsum;
+    stats.depth_max = std::max(stats.depth_max, dmax);
+    stats.latency.MergeFrom(latency);
+  }
+  for (int i = 0; i < options_.slow_k; ++i) {
+    const SlowSlot& slot = slow_[i];
+    const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) {
+      continue;
+    }
+    SlowRequest entry;
+    entry.trace = slot.trace.load(std::memory_order_relaxed);
+    entry.latency_ns = slot.latency_ns.load(std::memory_order_relaxed);
+    entry.ts = slot.ts.load(std::memory_order_relaxed);
+    if (slot.version.load(std::memory_order_acquire) != v1) {
+      continue;
+    }
+    if (InWindow(entry.ts, 1, now, options_.window_ns)) {
+      stats.slowest.push_back(entry);
+    }
+  }
+  std::sort(stats.slowest.begin(), stats.slowest.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.latency_ns > b.latency_ns;
+            });
+  return stats;
+}
+
+WindowStats SlidingWindow::Merge(
+    const std::vector<const SlidingWindow*>& windows, SimTime now) {
+  WindowStats merged;
+  merged.now = now;
+  for (const SlidingWindow* window : windows) {
+    if (window != nullptr) {
+      merged.MergeFrom(window->Snapshot(now));
+    }
+  }
+  return merged;
+}
+
+}  // namespace obs
+}  // namespace nearpm

@@ -21,6 +21,7 @@ namespace {
 struct SliceBuilder {
   std::uint32_t epoch = 0;
   std::uint64_t op = 0;
+  std::uint64_t trace = 0;
   SimTime post_ts = 0;
   SimTime post_end = 0;
   SimTime nominal_release = 0;  // kCmdPost arg1
@@ -49,6 +50,7 @@ bool FinalizeSlice(const SliceBuilder& b, const TraceEvent& exec,
   if (exec.ts < ready || exec.end() < exec.ts) return false;
 
   out->seq = exec.seq;
+  out->trace = b.trace != 0 ? b.trace : exec.trace;
   out->epoch = b.epoch;
   out->device_pid = exec.pid;
   out->unit_tid = exec.tid;
@@ -174,6 +176,7 @@ Profile BuildProfile(const std::vector<TraceEvent>& events,
         SliceBuilder& b = open[e.seq];
         b.epoch = e.epoch;
         b.op = e.arg0;
+        b.trace = e.trace;
         b.post_ts = e.ts;
         b.post_end = e.end();
         b.nominal_release = e.arg1;

@@ -56,6 +56,7 @@ const char* AttrPhaseName(AttrPhase phase);
 // seq, different device_pid).
 struct RequestSlice {
   std::uint64_t seq = 0;
+  std::uint64_t trace = 0;  // originating request trace id (0 = untraced)
   std::uint32_t epoch = 0;
   std::uint32_t device_pid = 0;  // TraceDevicePid(device)
   std::uint32_t unit_tid = 0;    // kTraceUnitTidBase + unit index

@@ -11,14 +11,24 @@ namespace nearpm {
 namespace {
 
 // Fixed line layout shared by writer and reader. The phase travels by name,
-// not enum value, so files survive enum reordering.
+// not enum value, so files survive enum reordering. `trace` was appended
+// when request-scoped tracing landed; the reader still accepts the earlier
+// 14-field lines (trace = 0) so archived captures stay replayable.
 constexpr char kLineFormat[] =
     "{\"phase\":\"%s\",\"pid\":%" PRIu32 ",\"tid\":%" PRIu32 ",\"ts\":%" PRIu64
     ",\"dur\":%" PRIu64 ",\"seq\":%" PRIu64 ",\"range\":[%" PRIu64 ",%" PRIu64
     "],\"range2\":[%" PRIu64 ",%" PRIu64 "],\"arg0\":%" PRIu64
-    ",\"arg1\":%" PRIu64 ",\"epoch\":%" PRIu32 ",\"order\":%" PRIu64 "}";
+    ",\"arg1\":%" PRIu64 ",\"epoch\":%" PRIu32 ",\"order\":%" PRIu64
+    ",\"trace\":%" PRIu64 "}";
 
 constexpr char kScanFormat[] =
+    "{\"phase\":\"%31[a-z_]\",\"pid\":%" SCNu32 ",\"tid\":%" SCNu32
+    ",\"ts\":%" SCNu64 ",\"dur\":%" SCNu64 ",\"seq\":%" SCNu64
+    ",\"range\":[%" SCNu64 ",%" SCNu64 "],\"range2\":[%" SCNu64 ",%" SCNu64
+    "],\"arg0\":%" SCNu64 ",\"arg1\":%" SCNu64 ",\"epoch\":%" SCNu32
+    ",\"order\":%" SCNu64 ",\"trace\":%" SCNu64 "}";
+
+constexpr char kLegacyScanFormat[] =
     "{\"phase\":\"%31[a-z_]\",\"pid\":%" SCNu32 ",\"tid\":%" SCNu32
     ",\"ts\":%" SCNu64 ",\"dur\":%" SCNu64 ",\"seq\":%" SCNu64
     ",\"range\":[%" SCNu64 ",%" SCNu64 "],\"range2\":[%" SCNu64 ",%" SCNu64
@@ -44,7 +54,7 @@ void WriteRawTrace(const std::vector<TraceEvent>& events, std::ostream& os) {
     std::snprintf(buf, sizeof(buf), kLineFormat, TracePhaseName(e.phase),
                   e.pid, e.tid, e.ts, e.dur, e.seq, e.range.begin, e.range.end,
                   e.range2.begin, e.range2.end, e.arg0, e.arg1, e.epoch,
-                  e.order);
+                  e.order, e.trace);
     os << buf << "\n";
   }
 }
@@ -60,11 +70,19 @@ bool ReadRawTrace(std::istream& is, std::vector<TraceEvent>* out,
     }
     char phase_name[32] = {};
     TraceEvent e;
-    const int matched = std::sscanf(
+    int matched = std::sscanf(
         line.c_str(), kScanFormat, phase_name, &e.pid, &e.tid, &e.ts, &e.dur,
         &e.seq, &e.range.begin, &e.range.end, &e.range2.begin, &e.range2.end,
-        &e.arg0, &e.arg1, &e.epoch, &e.order);
-    if (matched != 14 || !PhaseFromName(phase_name, &e.phase)) {
+        &e.arg0, &e.arg1, &e.epoch, &e.order, &e.trace);
+    if (matched != 15) {
+      e.trace = 0;
+      matched = std::sscanf(
+          line.c_str(), kLegacyScanFormat, phase_name, &e.pid, &e.tid, &e.ts,
+          &e.dur, &e.seq, &e.range.begin, &e.range.end, &e.range2.begin,
+          &e.range2.end, &e.arg0, &e.arg1, &e.epoch, &e.order);
+      matched = (matched == 14) ? 15 : matched;
+    }
+    if (matched != 15 || !PhaseFromName(phase_name, &e.phase)) {
       if (error != nullptr) {
         *error = "malformed raw trace line " + std::to_string(line_no) + ": " +
                  line;

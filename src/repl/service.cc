@@ -42,7 +42,20 @@ StatusOr<ReplProtocol> ReplProtocolFromName(const std::string& name) {
 }
 
 ReplicatedKvService::ReplicatedKvService(const ReplOptions& options)
-    : options_(options), router_(options.groups, options.replicas) {}
+    : options_(options), router_(options.groups, options.replicas) {
+  // Resolve the completion-path metric handles once; the registry's map
+  // nodes are stable, so these stay valid for the service's life.
+  ctr_enqueued_ = &metrics_.Counter("repl_enqueued");
+  ctr_rejected_ = &metrics_.Counter("repl_rejected");
+  ctr_completed_ = &metrics_.Counter("repl_completed");
+  ctr_gets_ = &metrics_.Counter("repl_gets");
+  ctr_puts_ = &metrics_.Counter("repl_puts");
+  ctr_txns_ = &metrics_.Counter("repl_txns");
+  ctr_batches_ = &metrics_.Counter("repl_batches");
+  ctr_commits_ = &metrics_.Counter("repl_commits");
+  request_ns_ = &metrics_.Latency("repl_request_ns");
+  commit_ns_ = &metrics_.Latency("repl_commit_ns");
+}
 
 ReplicatedKvService::~ReplicatedKvService() { Stop(); }
 
@@ -85,6 +98,19 @@ StatusOr<std::unique_ptr<ReplicatedKvService>> ReplicatedKvService::Create(
   fo.trace = service->fabric_recorder_.get();
   service->fabric_ = std::make_unique<net::Fabric>(fo);
 
+  // One cluster-wide flight ring: every node's recorder plus the fabric's
+  // feeds it, so the black box covers in-flight messages too.
+  if (options.flight_capacity > 0) {
+    service->flight_ =
+        std::make_unique<obs::FlightRecorder>(options.flight_capacity);
+    for (int n = 0; n < nodes; ++n) {
+      service->nodes_[n]->recorder().AttachSink(
+          service->flight_->RegisterSource("node" + std::to_string(n)));
+    }
+    service->fabric_recorder_->AttachSink(
+        service->flight_->RegisterSource("fabric"));
+  }
+
   for (int g = 0; g < options.groups; ++g) {
     service->queues_.push_back(
         std::make_unique<serve::MpscRing<QueuedRequest>>(
@@ -113,15 +139,18 @@ StatusOr<std::future<ServeResult>> ReplicatedKvService::Submit(
 
   QueuedRequest item;
   item.request = std::move(request);
+  // The request's identity for the rest of its life, across every replica
+  // and fabric message it touches.
+  item.trace_id = trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<ServeResult> done = item.done.get_future();
   if (!queues_[group]->TryPush(item)) {
-    metrics_.Increment("repl_rejected");
+    ctr_rejected_->fetch_add(1, std::memory_order_relaxed);
     return ResourceExhausted("group " + std::to_string(group) +
                              " queue full (" +
                              std::to_string(options_.queue_capacity) +
                              " requests), retry after draining");
   }
-  metrics_.Increment("repl_enqueued");
+  ctr_enqueued_->fetch_add(1, std::memory_order_relaxed);
   return done;
 }
 
@@ -220,8 +249,12 @@ void ReplicatedKvService::ExecuteBatch(int group, int worker,
       for (QueuedRequest& item : gets) {
         rt.Compute(tid, options_.request_parse_ns);
         const SimTime start = rt.Now(tid);
+        // Device events the read produces inherit the request's id (the
+        // shard lock serializes recorder access).
+        TraceIdScope trace_scope(&shard.recorder(), item.trace_id);
         ServeResult result;
         result.shard = group;
+        result.trace_id = item.trace_id;
         auto value = shard.Get(tid, item.request.key);
         if (value.ok()) {
           result.value = std::move(*value);
@@ -235,19 +268,20 @@ void ReplicatedKvService::ExecuteBatch(int group, int worker,
                           .dur = end > start ? end - start : 1,
                           .seq = item.request.key);
         result.latency_ns = end - batch_start;
-        metrics_.AddLatency("repl_request_ns", result.latency_ns);
-        metrics_.Increment("repl_gets");
-        metrics_.Increment("repl_completed");
+        request_ns_->Add(result.latency_ns);
+        ctr_gets_->fetch_add(1, std::memory_order_relaxed);
+        ctr_completed_->fetch_add(1, std::memory_order_relaxed);
         item.done.set_value(std::move(result));
       }
       rt.Fence(tid);
-      metrics_.Increment("repl_batches");
+      ctr_batches_->fetch_add(1, std::memory_order_relaxed);
     }
   }
 
   for (QueuedRequest& item : writes) {
     ServeResult result;
     result.shard = group;
+    result.trace_id = item.trace_id;
     std::vector<KvPair> pairs;
     if (item.request.kind == RequestKind::kMultiPut) {
       pairs = item.request.pairs;
@@ -257,11 +291,10 @@ void ReplicatedKvService::ExecuteBatch(int group, int worker,
       pair.value = item.request.value;
       pairs.push_back(std::move(pair));
     }
-    result.status = ExecuteReplicatedTxn(pairs);
-    metrics_.Increment(item.request.kind == RequestKind::kMultiPut
-                           ? "repl_txns"
-                           : "repl_puts");
-    metrics_.Increment("repl_completed");
+    result.status = ExecuteReplicatedTxn(pairs, {}, item.trace_id);
+    (item.request.kind == RequestKind::kMultiPut ? ctr_txns_ : ctr_puts_)
+        ->fetch_add(1, std::memory_order_relaxed);
+    ctr_completed_->fetch_add(1, std::memory_order_relaxed);
     item.done.set_value(std::move(result));
   }
 }
@@ -277,7 +310,8 @@ std::vector<int> ReplicatedKvService::LiveReplicas(int group) const {
 }
 
 Status ReplicatedKvService::ExecuteReplicatedTxn(
-    const std::vector<KvPair>& pairs, const ReplStop& stop) {
+    const std::vector<KvPair>& pairs, const ReplStop& stop,
+    std::uint64_t trace_id) {
   if (pairs.empty() || pairs.size() > Shard::kMaxTxnPairs) {
     return InvalidArgument("replicated txn must carry 1.." +
                            std::to_string(Shard::kMaxTxnPairs) + " pairs");
@@ -303,6 +337,30 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
     if (!alive_[router_.PrimaryNodeFor(g)]) {
       return Unavailable("group " + std::to_string(g) +
                          " primary down; failover required");
+    }
+  }
+
+  // Tag every participant replica's events with the originating request
+  // while their locks are held (set_active_trace is recorder-shared state,
+  // serialized by the node locks). Restores to 0 on every exit path,
+  // including the crash injections and error returns below.
+  struct TxnTraceScopes {
+    std::vector<TraceRecorder*> recorders;
+    ~TxnTraceScopes() {
+      for (TraceRecorder* r : recorders) {
+        r->set_active_trace(0);
+      }
+    }
+  } trace_scopes;
+  if (trace_id != 0) {
+    trace_scopes.recorders.reserve(participants.size() *
+                                   static_cast<std::size_t>(options_.replicas));
+    for (int g : participants) {
+      for (int r = 0; r < options_.replicas; ++r) {
+        TraceRecorder* rec = &nodes_[router_.NodeFor(g, r)]->recorder();
+        rec->set_active_trace(trace_id);
+        trace_scopes.recorders.push_back(rec);
+      }
     }
   }
 
@@ -347,7 +405,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       // failure-atomically and acks once it is durable.
       const net::Delivery ship =
           fabric_->Send(cp, bn, record_bytes, coord.Now(coord_tid),
-                        net::MsgKind::kIntentShip, txn_id);
+                        net::MsgKind::kIntentShip, txn_id, trace_id);
       backup.rt().WaitUntil(backup.TxnTid(), ship.delivered);
       auto slot = backup.WriteIntent(backup.TxnTid(), txn_id, pairs);
       if (!slot.ok()) {
@@ -358,7 +416,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       backup_durable[r] = backup.Now(backup.TxnTid());
       const net::Delivery ack =
           fabric_->Send(bn, cp, kCtrlBytes, backup_durable[r],
-                        net::MsgKind::kIntentAck, txn_id);
+                        net::MsgKind::kIntentAck, txn_id, trace_id);
       ack_times.push_back(ack.delivered);
     } else {
       // One-sided redo: the primary writes the raw record into the
@@ -367,7 +425,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       // (which the backup's NDP runs locally in the apply phase).
       const net::Delivery write =
           fabric_->Send(cp, bn, record_bytes, coord.Now(coord_tid),
-                        net::MsgKind::kRedoWrite, txn_id);
+                        net::MsgKind::kRedoWrite, txn_id, trace_id);
       backup.rt().WaitUntil(backup.NicTid(), write.delivered);
       SimTime durable_at = 0;
       auto slot = backup.LandRedoRecord(backup.NicTid(), txn_id, pairs,
@@ -378,14 +436,14 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       }
       const net::Delivery bell =
           fabric_->Send(cp, bn, kCtrlBytes, coord.Now(coord_tid),
-                        net::MsgKind::kDoorbell, txn_id);
+                        net::MsgKind::kDoorbell, txn_id, trace_id);
       backup.rt().WaitUntil(backup.NicTid(), bell.delivered);
       backup.RingDoorbell(backup.NicTid(), *slot, txn_id);
       slots[r] = *slot;
       backup_durable[r] = std::max(durable_at, backup.Now(backup.NicTid()));
       const net::Delivery ack =
           fabric_->Send(bn, cp, kCtrlBytes, durable_at,
-                        net::MsgKind::kIntentAck, txn_id);
+                        net::MsgKind::kIntentAck, txn_id, trace_id);
       ack_times.push_back(ack.delivered);
     }
     if (stop.phase == ReplStopPhase::kMidReplicate &&
@@ -431,7 +489,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       // Hand the slice to the participant group's primary.
       const net::Delivery ship =
           fabric_->Send(cp, pg, record_bytes, coord.Now(coord_tid),
-                        net::MsgKind::kIntentShip, txn_id);
+                        net::MsgKind::kIntentShip, txn_id, trace_id);
       nodes_[pg]->rt().WaitUntil(nodes_[pg]->TxnTid(), ship.delivered);
     }
     for (int r : LiveReplicas(g)) {
@@ -453,7 +511,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
         const net::Delivery fwd =
             fabric_->Send(pg, n, fwd_bytes,
                           nodes_[pg]->Now(nodes_[pg]->TxnTid()),
-                          net::MsgKind::kIntentShip, txn_id);
+                          net::MsgKind::kIntentShip, txn_id, trace_id);
         replica.rt().WaitUntil(tid, fwd.delivered);
       }
       for (const KvPair& pair : slice) {
@@ -491,7 +549,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
       const int dst = router_.PrimaryNodeFor(participants[peer]);
       const net::Delivery sig =
           fabric_->Send(src, dst, kCtrlBytes, sender.Now(sender.TxnTid()),
-                        net::MsgKind::kSyncSignal, txn_id);
+                        net::MsgKind::kSyncSignal, txn_id, trace_id);
       nodes_[dst]->rt().WaitUntil(nodes_[dst]->TxnTid(), sig.delivered);
       const DeviceId remote_index = ordinal < peer ? ordinal : ordinal - 1;
       NEARPM_RETURN_IF_ERROR(
@@ -528,7 +586,7 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
     Shard& backup = *nodes_[bn];
     const net::Delivery retire =
         fabric_->Send(cp, bn, kCtrlBytes, coord.Now(coord_tid),
-                      net::MsgKind::kRetire, txn_id);
+                      net::MsgKind::kRetire, txn_id, trace_id);
     backup.rt().WaitUntil(backup.TxnTid(), retire.delivered);
     NEARPM_RETURN_IF_ERROR(backup.InvalidateIntent(backup.TxnTid(), slots[r]));
     backup.Drain(backup.TxnTid());
@@ -542,9 +600,10 @@ Status ReplicatedKvService::ExecuteReplicatedTxn(
                     .tid = static_cast<std::uint32_t>(coord_tid),
                     .ts = txn_start,
                     .dur = txn_end > txn_start ? txn_end - txn_start : 1,
-                    .seq = txn_id, .arg0 = static_cast<std::uint64_t>(k));
-  metrics_.AddLatency("repl_commit_ns", txn_end - txn_start);
-  metrics_.Increment("repl_commits");
+                    .seq = txn_id, .arg0 = static_cast<std::uint64_t>(k),
+                    .trace = trace_id);
+  commit_ns_->Add(txn_end - txn_start);
+  ctr_commits_->fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -694,6 +753,18 @@ void ReplicatedKvService::ExportResourceMetrics() {
   nearpm::ExportResourceMetrics(fabric_profile, &metrics_, "repl_",
                                 "node=\"fabric\",");
   metrics_.MergeFrom(fabric_recorder_->metrics());
+}
+
+std::vector<TimelineSource> ReplicatedKvService::TimelineSources() {
+  std::vector<TimelineSource> sources;
+  sources.reserve(nodes_.size() + 1);
+  for (auto& shard : nodes_) {
+    std::lock_guard lock(shard->mu());
+    sources.push_back({"node" + std::to_string(shard->id()),
+                       shard->recorder().Snapshot()});
+  }
+  sources.push_back({"fabric", fabric_recorder_->Snapshot()});
+  return sources;
 }
 
 StatusOr<std::vector<KvPair>> ReplicatedKvService::DumpReplica(int group,

@@ -50,6 +50,8 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
+#include "src/obs/flight_recorder.h"
+#include "src/prof/request_timeline.h"
 #include "src/serve/mpsc_ring.h"
 #include "src/serve/router.h"
 #include "src/serve/service.h"
@@ -99,6 +101,10 @@ struct ReplOptions {
   // Device geometry shared by every node's shard and by the fabric links
   // (default = seed platform).
   hwmodel::HwConfig hw;
+  // Flight-recorder budget in compacted events (0 disables it). Every node
+  // recorder plus the fabric recorder feeds the one shared ring, so the
+  // black box spans the whole cluster including in-flight messages.
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 // Crash injection for the replication fuzzer: where ExecuteReplicatedTxn
@@ -158,6 +164,8 @@ class ReplicatedKvService {
   net::Fabric& fabric() { return *fabric_; }
   TraceRecorder& fabric_recorder() { return *fabric_recorder_; }
   MetricsRegistry& metrics() { return metrics_; }
+  // The cluster-wide flight recorder (null when flight_capacity == 0).
+  obs::FlightRecorder* flight() { return flight_.get(); }
 
   // Admission: routes the request to its coordinator group's queue. A full
   // queue rejects with ResourceExhausted (caller-visible backpressure).
@@ -177,8 +185,11 @@ class ReplicatedKvService {
   // replicate + apply + retire machinery and replicas never diverge on it).
   // `stop` abandons the protocol mid-flight for crash injection; the
   // transaction then reports Unavailable.
+  // `trace_id` tags every replica's and the fabric's events with the
+  // originating request, so the cross-node timeline can be reconstructed.
   Status ExecuteReplicatedTxn(const std::vector<KvPair>& pairs,
-                              const ReplStop& stop = {});
+                              const ReplStop& stop = {},
+                              std::uint64_t trace_id = 0);
 
   // Read from the owning group's current primary (Unavailable when it is
   // down and no failover has promoted a backup yet).
@@ -213,12 +224,18 @@ class ReplicatedKvService {
   // compares all replicas of a group).
   StatusOr<std::vector<KvPair>> DumpReplica(int group, int replica);
 
+  // Labeled event-stream snapshots of every node recorder ("node<N>") plus
+  // the fabric ("fabric"): the input BuildRequestTimeline wants. Call
+  // quiesced (each node snapshot takes that node's lock).
+  std::vector<TimelineSource> TimelineSources();
+
   ReplStats Stats() const;
 
  private:
   struct QueuedRequest {
     ServeRequest request;
     std::promise<ServeResult> done;
+    std::uint64_t trace_id = 0;  // allocated at admission
   };
 
   explicit ReplicatedKvService(const ReplOptions& options);
@@ -247,6 +264,24 @@ class ReplicatedKvService {
   std::atomic<std::uint64_t> txn_counter_{0};
   std::vector<int> pump_rr_;
   MetricsRegistry metrics_;
+
+  // Request trace ids, allocated at admission (1-based; 0 = untraced).
+  std::atomic<std::uint64_t> trace_counter_{0};
+  std::unique_ptr<obs::FlightRecorder> flight_;
+
+  // Completion-path metric handles resolved once in the constructor (the
+  // registry guarantees reference stability), so the batch and commit loops
+  // bump atomics instead of doing string-keyed map lookups per request.
+  std::atomic<std::uint64_t>* ctr_enqueued_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_rejected_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_completed_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_gets_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_puts_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_txns_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_batches_ = nullptr;
+  std::atomic<std::uint64_t>* ctr_commits_ = nullptr;
+  Histogram* request_ns_ = nullptr;
+  Histogram* commit_ns_ = nullptr;
 };
 
 }  // namespace repl

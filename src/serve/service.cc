@@ -37,6 +37,9 @@ StatusOr<std::unique_ptr<KvService>> KvService::Create(
     return InvalidArgument(
         "workers, batch_max and queue_capacity must be >= 1");
   }
+  if (options.slo_enabled) {
+    NEARPM_RETURN_IF_ERROR(options.slo.Validate());
+  }
   auto service = std::unique_ptr<KvService>(new KvService(options));
   ShardOptions so;
   so.mode = options.mode;
@@ -57,6 +60,39 @@ StatusOr<std::unique_ptr<KvService>> KvService::Create(
         std::make_unique<MpscRing<QueuedRequest>>(options.queue_capacity));
   }
   service->pump_rr_.assign(options.shards, 0);
+
+  // Live observability: one flight ring fed by every shard recorder, one
+  // sliding window per (shard, worker) -- mirroring the WorkerMetrics
+  // layout so the hot path touches only writer-private state -- and the
+  // optional watchdog over the merged view.
+  if (options.flight_capacity > 0) {
+    service->flight_ =
+        std::make_unique<obs::FlightRecorder>(options.flight_capacity);
+    for (int s = 0; s < options.shards; ++s) {
+      service->shards_[s]->recorder().AttachSink(
+          service->flight_->RegisterSource("shard" + std::to_string(s)));
+    }
+  }
+  obs::WindowOptions wo;
+  wo.window_ns = static_cast<SimTime>(options.slo.window_ns);
+  wo.slow_k = options.slo.slow_k;
+  const std::size_t blocks = static_cast<std::size_t>(options.shards) *
+                             static_cast<std::size_t>(options.workers_per_shard);
+  service->windows_.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    service->windows_.emplace_back(wo);
+  }
+  service->window_ptrs_.reserve(blocks);
+  for (const obs::SlidingWindow& win : service->windows_) {
+    service->window_ptrs_.push_back(&win);
+  }
+  if (options.slo_enabled) {
+    obs::WatchdogOptions wd;
+    wd.spec = options.slo;
+    wd.flight = service->flight_.get();
+    wd.dump_path = options.slo_dump_path;
+    service->watchdog_ = std::make_unique<obs::SloWatchdog>(wd);
+  }
   return service;
 }
 
@@ -90,6 +126,10 @@ StatusOr<std::future<ServeResult>> KvService::Submit(ServeRequest request) {
   }
   QueuedRequest item;
   item.request = std::move(request);
+  // The request's identity for the rest of its life: stamped on every trace
+  // event it produces, on any node (a rejected push burns an id; ids only
+  // need to be unique, not dense).
+  item.trace_id = trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::future<ServeResult> done = item.done.get_future();
   if (!queue.TryPush(item)) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -175,13 +215,20 @@ std::uint64_t KvService::Pump() {
 }
 
 Status KvService::ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
-                               SimTime batch_start, WorkerMetrics& wm) {
+                               SimTime batch_start, WorkerMetrics& wm,
+                               obs::SlidingWindow& win) {
   Runtime& rt = shard.rt();
   const SimTime start = rt.Now(tid);
   rt.Compute(tid, options_.request_parse_ns);
 
+  // Every event the shard records while this request executes -- queue,
+  // device pipeline, PM writes -- inherits its trace id (the caller holds
+  // shard.mu(), which serializes all recorder access).
+  TraceIdScope trace_scope(&shard.recorder(), item.trace_id);
+
   ServeResult result;
   result.shard = shard.id();
+  result.trace_id = item.trace_id;
   switch (item.request.kind) {
     case RequestKind::kPut:
       result.status = shard.Put(tid, item.request.key, item.request.value);
@@ -211,6 +258,7 @@ Status KvService::ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
   wm.request_ns.Add(result.latency_ns);
   wm.completed.fetch_add(1, std::memory_order_relaxed);
   Status status = result.status;
+  win.RecordLatency(end, result.latency_ns, !status.ok(), item.trace_id);
   item.done.set_value(std::move(result));
   return status;
 }
@@ -220,6 +268,7 @@ void KvService::ExecuteBatch(int shard_id, int worker,
   Shard& shard = *shards_[shard_id];
   const ThreadId tid = shard.WorkerTid(worker);
   WorkerMetrics& wm = worker_metrics(shard_id, worker);
+  obs::SlidingWindow& win = window(shard_id, worker);
 
   // Split in place: locals run under one lock/doorbell/fence, transactions
   // after (they take their participants' locks themselves). No per-batch
@@ -243,16 +292,18 @@ void KvService::ExecuteBatch(int shard_id, int worker,
                        .ts = batch_start, .arg0 = locals);
     // Residual backlog after this batch was picked up: the shard-queue
     // occupancy series the profiler and Perfetto counter track render.
+    const std::uint64_t backlog = queues_[shard_id]->size();
     NEARPM_TRACE_EVENT(&shard.recorder(),
                        .phase = TracePhase::kServeQueueDepth,
                        .pid = kTraceServePid,
                        .tid = static_cast<std::uint32_t>(tid),
-                       .ts = batch_start, .arg0 = queues_[shard_id]->size());
+                       .ts = batch_start, .arg0 = backlog);
+    win.RecordDepth(batch_start, backlog);
     for (QueuedRequest& item : batch) {
       if (item.request.kind == RequestKind::kMultiPut) {
         continue;
       }
-      (void)ExecuteLocal(shard, tid, item, batch_start, wm);
+      (void)ExecuteLocal(shard, tid, item, batch_start, wm, win);
     }
     rt.Fence(tid);
     const SimTime batch_end = rt.Now(tid);
@@ -264,25 +315,87 @@ void KvService::ExecuteBatch(int shard_id, int worker,
                       .arg0 = locals);
     wm.batches.fetch_add(1, std::memory_order_relaxed);
     wm.batch_size.Add(locals);
+    // Batch boundary = SLO evaluation point; still under the shard lock, so
+    // a breach's kSloAlert instant can land on this shard's trace.
+    SloCheck(batch_end, &shard.recorder());
   }
 
   if (locals == batch.size()) {
     return;
   }
+  SimTime txn_last_end = 0;
   for (QueuedRequest& item : batch) {
     if (item.request.kind != RequestKind::kMultiPut) {
       continue;
     }
+    // The coordinator is this shard (Submit routed the request here), so
+    // its clock brackets the transaction for the window's latency sample.
+    // Clock reads take the shard lock: a peer worker's transaction on this
+    // shard advances the same TxnTid clock concurrently.
+    const ThreadId coord_tid = shard.TxnTid();
+    SimTime txn_start;
+    {
+      std::lock_guard lock(shard.mu());
+      txn_start = shard.Now(coord_tid);
+    }
     ServeResult result;
     result.shard = shard_id;
-    result.status = ExecuteMultiPut(item.request.pairs);
+    result.trace_id = item.trace_id;
+    result.status = ExecuteMultiPut(item.request.pairs, {}, item.trace_id);
+    SimTime txn_end;
+    {
+      std::lock_guard lock(shard.mu());
+      txn_end = shard.Now(coord_tid);
+    }
+    result.latency_ns = txn_end > txn_start ? txn_end - txn_start : 0;
+    txn_last_end = txn_end;
     wm.completed.fetch_add(1, std::memory_order_relaxed);
+    win.RecordLatency(txn_end, result.latency_ns, !result.status.ok(),
+                      item.trace_id);
     item.done.set_value(std::move(result));
+  }
+  if (watchdog_ != nullptr) {
+    std::lock_guard lock(shard.mu());
+    SloCheck(txn_last_end, &shard.recorder());
   }
 }
 
+void KvService::SloCheck(SimTime now, TraceRecorder* recorder) {
+  if (watchdog_ == nullptr) {
+    return;
+  }
+  const std::uint64_t stalled = rejected_.load(std::memory_order_relaxed);
+  const std::uint64_t attempted =
+      stalled + enqueued_.load(std::memory_order_relaxed);
+  watchdog_->MaybeCheck(now, window_ptrs_, stalled, attempted, recorder);
+}
+
+obs::WindowStats KvService::WindowSnapshot(SimTime now) const {
+  return obs::SlidingWindow::Merge(window_ptrs_, now);
+}
+
+bool KvService::DumpFlightRecord(std::ostream& os) const {
+  if (flight_ == nullptr) {
+    return false;
+  }
+  obs::WriteFlightDump(os, *flight_, nullptr);
+  return true;
+}
+
+std::vector<TimelineSource> KvService::TimelineSources() {
+  std::vector<TimelineSource> sources;
+  sources.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu());
+    sources.push_back({"shard" + std::to_string(shard->id()),
+                       shard->recorder().Snapshot()});
+  }
+  return sources;
+}
+
 Status KvService::ExecuteMultiPut(const std::vector<KvPair>& pairs,
-                                  const TxnStop& stop) {
+                                  const TxnStop& stop,
+                                  std::uint64_t trace_id) {
   if (pairs.empty() || pairs.size() > Shard::kMaxTxnPairs) {
     return InvalidArgument("MultiPut must carry 1.." +
                            std::to_string(Shard::kMaxTxnPairs) + " pairs");
@@ -307,6 +420,27 @@ Status KvService::ExecuteMultiPut(const std::vector<KvPair>& pairs,
   const ThreadId coord_tid = coord.TxnTid();
   const std::uint64_t txn_id = ++txn_counter_;
   const SimTime txn_start = coord.Now(coord_tid);
+
+  // Tag every participant's events with the originating request while their
+  // locks are held (set_active_trace is recorder-shared state, serialized by
+  // shard.mu()). Restores to 0 on every exit path, including the crash
+  // injections and error returns above each phase.
+  struct TxnTraceScopes {
+    std::vector<TraceRecorder*> recorders;
+    ~TxnTraceScopes() {
+      for (TraceRecorder* r : recorders) {
+        r->set_active_trace(0);
+      }
+    }
+  } trace_scopes;
+  if (trace_id != 0) {
+    trace_scopes.recorders.reserve(participants.size());
+    for (int p : participants) {
+      TraceRecorder* r = &shards_[p]->recorder();
+      r->set_active_trace(trace_id);
+      trace_scopes.recorders.push_back(r);
+    }
+  }
 
   // Phase 1 -- durable intent on the coordinator. Drained before any slice
   // applies: after this point a crash anywhere leads recovery to redo the
@@ -401,7 +535,8 @@ Status KvService::ExecuteMultiPut(const std::vector<KvPair>& pairs,
                     .tid = static_cast<std::uint32_t>(coord_tid),
                     .ts = txn_start,
                     .dur = txn_end > txn_start ? txn_end - txn_start : 1,
-                    .seq = txn_id, .arg0 = static_cast<std::uint64_t>(k));
+                    .seq = txn_id, .arg0 = static_cast<std::uint64_t>(k),
+                    .trace = trace_id);
   txns_.fetch_add(1, std::memory_order_relaxed);
   txn_ns_.Add(txn_end - txn_start);
   return Status::Ok();
@@ -542,6 +677,27 @@ void KvService::PublishMetrics() {
   metrics_.Latency("serve_batch_size") = batch_size;
   metrics_.Latency("serve_queue_depth") = queue_depth_;
   metrics_.Latency("serve_txn_ns") = txn_ns_;
+
+  // The live view: sliding-window aggregates as of the slowest shard's
+  // clock, published as gauges (they describe "now", not "ever").
+  SimTime now = 0;
+  for (const auto& shard : shards_) {
+    now = std::max(now, shard->MakespanNs());
+  }
+  const obs::WindowStats win = WindowSnapshot(now);
+  metrics_.SetGauge("serve_window_qps", win.Qps());
+  metrics_.SetGauge("serve_window_error_rate", win.ErrorRate());
+  metrics_.SetGauge("serve_window_count", static_cast<double>(win.count));
+  metrics_.SetGauge("serve_window_p50_ns",
+                    static_cast<double>(win.latency.Percentile(0.5)));
+  metrics_.SetGauge("serve_window_p99_ns",
+                    static_cast<double>(win.latency.Percentile(0.99)));
+  metrics_.SetGauge("serve_window_depth_max",
+                    static_cast<double>(win.depth_max));
+  if (watchdog_ != nullptr) {
+    metrics_.Counter("serve_slo_checks").store(watchdog_->checks());
+    metrics_.Counter("serve_slo_alerts").store(watchdog_->alert_count());
+  }
 }
 
 }  // namespace serve

@@ -42,6 +42,8 @@
 
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/obs/watchdog.h"
+#include "src/prof/request_timeline.h"
 #include "src/serve/mpsc_ring.h"
 #include "src/serve/router.h"
 #include "src/serve/shard.h"
@@ -68,6 +70,19 @@ struct ServeOptions {
   double request_parse_ns = 50.0;  // front-end CPU cost per request
   // Device geometry shared by every shard (default = seed platform).
   hwmodel::HwConfig hw;
+
+  // ---- Live observability ---------------------------------------------------
+  // Flight-recorder budget in compacted events (0 disables it). Every shard
+  // recorder feeds the one shared ring, so the last N events the whole
+  // service produced are always dumpable.
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
+  // SLO watchdog: when enabled, `slo` is evaluated at batch boundaries over
+  // the per-worker sliding windows; a breach dumps the flight record to
+  // `slo_dump_path` (empty = in-memory alert only). The window shape
+  // (window_ns, slow_k) always comes from `slo`, watchdog or not.
+  bool slo_enabled = false;
+  obs::SloSpec slo;
+  std::string slo_dump_path;
 };
 
 enum class RequestKind : std::uint8_t { kGet, kPut, kMultiPut };
@@ -86,6 +101,9 @@ struct ServeResult {
   // behind batch peers included).
   SimTime latency_ns = 0;
   int shard = -1;
+  // Request trace id allocated at admission: the handle `nearpm_trace
+  // --request` takes to reconstruct this request's cross-node timeline.
+  std::uint64_t trace_id = 0;
 };
 
 // Crash injection for the serve fuzzer: where ExecuteMultiPut deliberately
@@ -164,9 +182,10 @@ class KvService {
 
   // Direct cross-shard transaction (also the path queued kMultiPut requests
   // take). `stop` deliberately abandons the protocol mid-flight for crash
-  // injection; the transaction then reports Unavailable.
+  // injection; the transaction then reports Unavailable. `trace_id` tags
+  // every participant's events with the originating request.
   Status ExecuteMultiPut(const std::vector<KvPair>& pairs,
-                         const TxnStop& stop = {});
+                         const TxnStop& stop = {}, std::uint64_t trace_id = 0);
 
   // ---- Failure and recovery -------------------------------------------------
   // Power-fails every shard (plans[s] drives shard s) and drops volatile
@@ -198,10 +217,27 @@ class KvService {
   // the registry (no per-counter name lookups).
   ServeStats Stats() const;
 
+  // ---- Live observability ---------------------------------------------------
+  // The shared flight recorder (null when flight_capacity == 0).
+  obs::FlightRecorder* flight() { return flight_.get(); }
+  // The SLO watchdog (null unless slo_enabled).
+  obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  // Merged sliding-window view across every (shard, worker) window at sim
+  // time `now` (pass Stats().makespan_ns for "end of run"). Safe mid-run.
+  obs::WindowStats WindowSnapshot(SimTime now) const;
+  // Writes the schema-versioned flight dump (no alert context) to `os`.
+  // Returns false when the flight recorder is disabled.
+  bool DumpFlightRecord(std::ostream& os) const;
+  // Labeled event-stream snapshots of every shard recorder ("shard<N>"),
+  // the input BuildRequestTimeline wants. Call quiesced (takes each shard's
+  // lock).
+  std::vector<TimelineSource> TimelineSources();
+
  private:
   struct QueuedRequest {
     ServeRequest request;
     std::promise<ServeResult> done;
+    std::uint64_t trace_id = 0;  // allocated at admission
   };
 
   explicit KvService(const ServeOptions& options);
@@ -221,7 +257,17 @@ class KvService {
   void ExecuteBatch(int shard_id, int worker,
                     std::vector<QueuedRequest>& batch);
   Status ExecuteLocal(Shard& shard, ThreadId tid, QueuedRequest& item,
-                      SimTime batch_start, WorkerMetrics& wm);
+                      SimTime batch_start, WorkerMetrics& wm,
+                      obs::SlidingWindow& win);
+
+  obs::SlidingWindow& window(int shard_id, int worker) {
+    return windows_[static_cast<std::size_t>(shard_id) *
+                        static_cast<std::size_t>(options_.workers_per_shard) +
+                    static_cast<std::size_t>(worker)];
+  }
+  // Watchdog breach check at a batch boundary. The caller must hold
+  // `recorder`'s shard lock (the alert instant lands on that trace).
+  void SloCheck(SimTime now, TraceRecorder* recorder);
 
   ServeOptions options_;
   ShardRouter router_;
@@ -242,6 +288,16 @@ class KvService {
   Histogram queue_depth_;  // sampled at admission
   Histogram txn_ns_;
   MetricsRegistry metrics_;
+
+  // Live observability: request trace ids are allocated at admission from
+  // this counter (per-service, 1-based; 0 means untraced everywhere). The
+  // windows vector is sized like worker_metrics_ and never resized, so the
+  // cached pointer set below stays valid for the watchdog's merges.
+  std::atomic<std::uint64_t> trace_counter_{0};
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::vector<obs::SlidingWindow> windows_;
+  std::vector<const obs::SlidingWindow*> window_ptrs_;
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
 };
 
 }  // namespace serve

@@ -60,6 +60,12 @@ const char* PhaseCategory(TracePhase phase) {
       return "net";
     case TracePhase::kReplDoorbell:
       return "repl";
+    case TracePhase::kPipeStage:
+      return "exec";
+    case TracePhase::kLsqDepth:
+      return "counter";
+    case TracePhase::kSloAlert:
+      return "obs";
     case TracePhase::kCount:
       break;
   }

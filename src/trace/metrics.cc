@@ -182,22 +182,35 @@ std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
   last_base.clear();
   for (const auto& [name, hist] : histograms_) {
     // The latency histogram shares its registry key with the phase counter;
-    // a Prometheus name must have exactly one type, so the summary gets its
-    // own _latency_ns base. A label suffix on the registry key is preserved
-    // on every emitted series (the quantile label joins the caller's).
+    // a Prometheus name must have exactly one type, so the histogram gets
+    // its own _latency_ns base. A label suffix on the registry key is
+    // preserved on every emitted series (the le label joins the caller's).
     const std::string series = prefix + "_" + SanitizePrometheusName(name);
     const std::string base = BaseName(series) + "_latency_ns";
     const std::string labels = LabelSuffix(series);
     const std::string inner =  // caller labels without braces, "," appended
         labels.empty() ? std::string()
                        : labels.substr(1, labels.size() - 2) + ",";
-    EmitTypeOnce(out, last_base, base, "summary");
-    for (const auto& [label, q] :
-         {std::pair<const char*, double>{"0.5", 0.5}, {"0.9", 0.9},
-          {"0.99", 0.99}}) {
-      out += base + "{" + inner + "quantile=\"" + label + "\"} " +
-             std::to_string(hist.Percentile(q)) + "\n";
+    EmitTypeOnce(out, last_base, base, "histogram");
+    // Real cumulative buckets (not summary quantiles): bucket i's inclusive
+    // upper bound is 2^i - 1, bucket 0 holds exactly-zero samples. Empty
+    // tail buckets are elided; +Inf always closes the series so PromQL's
+    // histogram_quantile sees the full count.
+    int top = -1;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.bucket(i) > 0) {
+        top = i;
+      }
     }
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i <= top; ++i) {
+      cumulative += hist.bucket(i);
+      const std::uint64_t le = i == 0 ? 0 : (1ull << i) - 1;
+      out += base + "_bucket{" + inner + "le=\"" + std::to_string(le) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += base + "_bucket{" + inner + "le=\"+Inf\"} " +
+           std::to_string(hist.count()) + "\n";
     out += base + "_sum" + labels + " " + std::to_string(hist.sum()) + "\n";
     out += base + "_count" + labels + " " + std::to_string(hist.count()) +
            "\n";

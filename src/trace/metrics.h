@@ -136,9 +136,11 @@ class MetricsRegistry {
   //  "latencies_ns": {"phase": {"count":..,"p50":..}}}
   std::string ToJson() const;
   // Prometheus text exposition format (version 0.0.4): counters as
-  // `<prefix>_<name> v`, gauges likewise, histograms as summaries with
-  // quantile series plus _sum and _count. Invalid metric-name characters
-  // are sanitized to '_'; label suffixes ({...}) keep their quoting but any
+  // `<prefix>_<name> v`, gauges likewise, histograms as real histogram
+  // types with cumulative _bucket series (le = the power-of-two bucket's
+  // inclusive upper bound) plus _sum and _count. Invalid metric-name
+  // characters are sanitized to '_'; label suffixes ({...}) keep their
+  // quoting but any
   // raw control characters inside them are escaped so the exposition stays
   // parseable even if a caller skipped EscapeLabelValue().
   std::string ToPrometheus(const std::string& prefix = "nearpm") const;

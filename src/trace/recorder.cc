@@ -80,6 +80,8 @@ const char* TracePhaseName(TracePhase phase) {
       return "pipe_stage";
     case TracePhase::kLsqDepth:
       return "lsq_depth";
+    case TracePhase::kSloAlert:
+      return "slo_alert";
     case TracePhase::kCount:
       break;
   }
@@ -115,6 +117,9 @@ TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)
 void TraceRecorder::Record(TraceEvent event) {
   event.epoch = epoch_;
   event.order = ++order_;
+  if (event.trace == 0) {
+    event.trace = active_trace_;
+  }
   ++recorded_;
   const std::uint64_t key = TrackKey(event.pid, event.tid);
   if (key != cached_track_key_) {
@@ -129,6 +134,9 @@ void TraceRecorder::Record(TraceEvent event) {
     ring.next = (ring.next + 1) % options_.ring_capacity;
     ++ring.dropped;
     ++dropped_;
+  }
+  if (sink_ != nullptr) {
+    sink_->Consume(event);
   }
   if (options_.feed_metrics) {
     // O(1) array bumps; the string-keyed registry is only touched when

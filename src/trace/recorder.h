@@ -48,9 +48,23 @@ class TraceRecorder {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  // Records one event (fills epoch and order). Call through the macros so
-  // argument evaluation is skipped when tracing is off.
+  // Records one event (fills epoch and order, and stamps the active trace
+  // id on events that don't carry one). Call through the macros so argument
+  // evaluation is skipped when tracing is off.
   void Record(TraceEvent event);
+
+  // Request-scoped tracing: while a trace id is active, every event recorded
+  // with trace == 0 inherits it. Serve workers set the scope around each
+  // request's execution (always under the shard lock in threaded mode, so a
+  // plain member is race-free); cross-node propagation stamps the id
+  // explicitly on fabric events instead.
+  void set_active_trace(std::uint64_t id) { active_trace_ = id; }
+  std::uint64_t active_trace() const { return active_trace_; }
+
+  // Optional synchronous consumer of the stamped event stream (the obs
+  // layer's flight recorder). Null detaches.
+  void AttachSink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
 
   // Starts a new epoch: virtual clocks restarted (a crash, or a fresh
   // Runtime attached to a shared recorder). Returns the new epoch id.
@@ -105,6 +119,8 @@ class TraceRecorder {
   bool enabled_ = true;
   std::uint32_t epoch_ = 0;
   std::uint64_t order_ = 0;
+  std::uint64_t active_trace_ = 0;
+  TraceSink* sink_ = nullptr;
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
   std::unordered_map<std::uint64_t, Ring> tracks_;
@@ -141,6 +157,30 @@ class TraceRecorder {
 // True when events would actually be recorded (for guarding pre-computation
 // that only feeds tracing).
 #define NEARPM_TRACE_ENABLED(rec) ((rec) != nullptr && (rec)->enabled())
+
+// RAII trace-id scope: events recorded while the scope is live inherit the
+// request's trace id. Nestable (restores the previous id), null-tolerant.
+class TraceIdScope {
+ public:
+  TraceIdScope(TraceRecorder* recorder, std::uint64_t id)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      previous_ = recorder_->active_trace();
+      recorder_->set_active_trace(id);
+    }
+  }
+  ~TraceIdScope() {
+    if (recorder_ != nullptr) {
+      recorder_->set_active_trace(previous_);
+    }
+  }
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::uint64_t previous_ = 0;
+};
 
 }  // namespace nearpm
 

@@ -80,6 +80,10 @@ enum class TracePhase : std::uint8_t {
   kPipeStage, // span: one pipeline stage's residency on a unit
               // (arg0 = PipeStage, nested inside the request's kUnitExec)
   kLsqDepth,  // counter: unit in-flight (LSQ) population after a dispatch
+  // ---- Live observability (src/obs; appended for the same stable-contract
+  // reason).
+  kSloAlert,  // instant: SLO watchdog breach (seq = alert id, arg0 = rule
+              // index, arg1 = observed value in the rule's unit)
   kCount,
 };
 
@@ -100,6 +104,7 @@ inline constexpr std::uint32_t kTraceSyncPid = 3;      // tid = 0, MD sync
 inline constexpr std::uint32_t kTraceServePid = 4;     // tid = worker index
 inline constexpr std::uint32_t kTraceNetPid = 5;       // tid = link index
 inline constexpr std::uint32_t kTraceReplPid = 6;      // tid = node index
+inline constexpr std::uint32_t kTraceObsPid = 7;       // tid = 0, watchdog
 inline constexpr std::uint32_t kTraceDevicePidBase = 16;  // + DeviceId
 // Tids inside a device pid.
 inline constexpr std::uint32_t kTraceDispatcherTid = 0;
@@ -115,7 +120,10 @@ inline constexpr std::uint32_t TraceDevicePid(DeviceId d) {
 // time from zero, so timestamps only order events within one epoch. `order`
 // is the global record sequence -- the real issue order of the program --
 // which stays monotonic across clock resets; the PpoChecker uses it for
-// every "issued before" relation.
+// every "issued before" relation. `trace` ties an event to one end-to-end
+// request: ids are allocated at service entry and either stamped explicitly
+// (fabric messages carry them across nodes) or inherited from the
+// recorder's active trace scope; 0 means "not request-scoped".
 struct TraceEvent {
   TracePhase phase = TracePhase::kCpuRead;
   std::uint32_t pid = kTraceHostPid;
@@ -129,9 +137,23 @@ struct TraceEvent {
   std::uint64_t arg1 = 0;     // phase-specific (post time for exec spans)
   std::uint32_t epoch = 0;    // filled by the recorder
   std::uint64_t order = 0;    // filled by the recorder
+  std::uint64_t trace = 0;    // request trace id (0 = none; filled from the
+                              // recorder's active scope when unset)
 
   SimTime end() const { return ts + dur; }
   bool is_span() const { return dur > 0; }
+};
+
+// Consumer of the live event stream, invoked synchronously from
+// TraceRecorder::Record after epoch/order/trace are filled. The one
+// in-tree implementation is the obs-layer FlightRecorder; the indirection
+// keeps src/trace below src/obs in the layering. Implementations attached
+// to recorders that are pumped from multiple OS threads (the serve layer's
+// per-shard recorders in threaded mode) must be internally thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Consume(const TraceEvent& event) = 0;
 };
 
 }  // namespace nearpm

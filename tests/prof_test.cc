@@ -293,7 +293,8 @@ void ValidatePrometheus(const std::string& text,
       std::string base, type;
       header >> base >> type;
       ASSERT_FALSE(base.empty());
-      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "summary")
+      ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
           << line;
       ASSERT_EQ(types->count(base), 0u) << "duplicate type for " << base;
       (*types)[base] = type;
@@ -307,11 +308,11 @@ void ValidatePrometheus(const std::string& text,
     char* end = nullptr;
     const double v = std::strtod(value.c_str(), &end);
     ASSERT_EQ(*end, '\0') << line;
-    // The base (up to '{') must have a declared type. _sum/_count series of
-    // a summary attach to the summary's base.
+    // The base (up to '{') must have a declared type. _bucket/_sum/_count
+    // series of a histogram attach to the histogram's base.
     std::string base = series.substr(0, series.find('{'));
     if (types->count(base) == 0) {
-      for (const char* suffix : {"_sum", "_count"}) {
+      for (const char* suffix : {"_bucket", "_sum", "_count"}) {
         const std::string s = suffix;
         if (base.size() > s.size() &&
             base.compare(base.size() - s.size(), s.size(), s) == 0) {
@@ -340,11 +341,64 @@ TEST(PrometheusTest, ExposesCountersGaugesAndQuantiles) {
   EXPECT_EQ(types["nearpm_cmd_post"], "counter");
   EXPECT_EQ(types["nearpm_fifo_depth"], "gauge");
   EXPECT_EQ(types["nearpm_inflight_depth"], "gauge");
-  EXPECT_EQ(types["nearpm_cmd_post_latency_ns"], "summary");
+  EXPECT_EQ(types["nearpm_cmd_post_latency_ns"], "histogram");
   EXPECT_GT(values["nearpm_cmd_post"], 0.0);
-  EXPECT_GT(values["nearpm_cmd_post_latency_ns{quantile=\"0.5\"}"], 0.0);
+  EXPECT_GT(values["nearpm_cmd_post_latency_ns_bucket{le=\"+Inf\"}"], 0.0);
   EXPECT_GT(values["nearpm_cmd_post_latency_ns_count"], 0.0);
   EXPECT_GT(values["nearpm_cmd_post_latency_ns_sum"], 0.0);
+  // The +Inf bucket must equal _count, and the cumulative buckets must be
+  // monotone -- the histogram contract PromQL's histogram_quantile needs.
+  EXPECT_DOUBLE_EQ(values["nearpm_cmd_post_latency_ns_bucket{le=\"+Inf\"}"],
+                   values["nearpm_cmd_post_latency_ns_count"]);
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  for (const auto& [series, value] : values) {
+    const std::string want = "nearpm_cmd_post_latency_ns_bucket{le=\"";
+    if (series.rfind(want, 0) == 0 &&
+        series.find("+Inf") == std::string::npos) {
+      buckets.emplace_back(std::strtod(series.c_str() + want.size(), nullptr),
+                           value);
+    }
+  }
+  std::sort(buckets.begin(), buckets.end());
+  double prev = 0.0;
+  for (const auto& [le, value] : buckets) {
+    EXPECT_GE(value, prev) << "le=" << le;
+    prev = value;
+  }
+}
+
+// Byte-exact golden for the histogram exposition: a deterministic registry
+// must serialize to exactly this text (cumulative buckets, elided empty
+// tail, +Inf closing, sum/count, caller labels joined with le).
+TEST(PrometheusTest, HistogramExpositionGolden) {
+  MetricsRegistry registry;
+  registry.Increment("ops", 3);
+  Histogram& plain = registry.Latency("req");
+  plain.Add(0);    // bucket 0: le="0"
+  plain.Add(1);    // bucket 1: le="1"
+  plain.Add(5);    // bucket 3: le="7"
+  plain.Add(5);
+  Histogram& labeled = registry.Latency("req{shard=\"2\"}");
+  labeled.Add(2);  // bucket 2: le="3"
+
+  const std::string expected =
+      "# TYPE x_ops counter\n"
+      "x_ops 3\n"
+      "# TYPE x_req_latency_ns histogram\n"
+      "x_req_latency_ns_bucket{le=\"0\"} 1\n"
+      "x_req_latency_ns_bucket{le=\"1\"} 2\n"
+      "x_req_latency_ns_bucket{le=\"3\"} 2\n"
+      "x_req_latency_ns_bucket{le=\"7\"} 4\n"
+      "x_req_latency_ns_bucket{le=\"+Inf\"} 4\n"
+      "x_req_latency_ns_sum 11\n"
+      "x_req_latency_ns_count 4\n"
+      "x_req_latency_ns_bucket{shard=\"2\",le=\"0\"} 0\n"
+      "x_req_latency_ns_bucket{shard=\"2\",le=\"1\"} 0\n"
+      "x_req_latency_ns_bucket{shard=\"2\",le=\"3\"} 1\n"
+      "x_req_latency_ns_bucket{shard=\"2\",le=\"+Inf\"} 1\n"
+      "x_req_latency_ns_sum{shard=\"2\"} 2\n"
+      "x_req_latency_ns_count{shard=\"2\"} 1\n";
+  EXPECT_EQ(registry.ToPrometheus("x"), expected);
 }
 
 TEST(PrometheusTest, GaugePrimitiveRoundTrips) {

@@ -38,6 +38,11 @@
 //   --seed=N                  key-stream seed (default 42)
 //   --json-out=FILE           google-benchmark-schema JSON (check_bench gate)
 //   --hist-out=FILE           wall-latency histograms, one line per bucket
+//   --slo=FILE                arm the SLO watchdog with this spec (JSON,
+//                             see src/obs/slo.h; configs/slo-default.json)
+//   --flight-dump=FILE        where a breach dumps the flight record; the
+//                             file is only created when an alert fires
+//   --flight-capacity=N       flight-recorder ring slots (0 disables)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -55,6 +60,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/obs/slo.h"
 #include "src/serve/service.h"
 
 namespace nearpm {
@@ -77,6 +83,10 @@ struct CliOptions {
   std::uint64_t seed = 42;
   std::string json_out;
   std::string hist_out;
+  bool slo_enabled = false;
+  obs::SloSpec slo;
+  std::string flight_dump;
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 // Exact zipfian(theta) sampler over [0, n): cumulative inverse-CDF table +
@@ -122,6 +132,10 @@ struct LoopResult {
   std::uint64_t sim_p99_ns = 0;
   std::uint64_t ppo_violations = 0;
   Histogram wall_latency_ns;
+  bool slo_armed = false;
+  std::uint64_t slo_checks = 0;
+  std::uint64_t slo_alerts = 0;
+  std::vector<obs::SlowRequest> slo_slowest;  // from the last alert
 };
 
 StatusOr<std::unique_ptr<KvService>> MakeService(const CliOptions& cli) {
@@ -131,6 +145,12 @@ StatusOr<std::unique_ptr<KvService>> MakeService(const CliOptions& cli) {
   so.queue_capacity = cli.queue;
   so.batch_max = cli.batch;
   so.table_slots = cli.table_slots;
+  so.flight_capacity = cli.flight_capacity;
+  if (cli.slo_enabled) {
+    so.slo_enabled = true;
+    so.slo = cli.slo;
+    so.slo_dump_path = cli.flight_dump;
+  }
   return KvService::Create(so);
 }
 
@@ -161,6 +181,15 @@ void FinishLoop(KvService& svc, LoopResult* out) {
   out->wall_p50_ns = out->wall_latency_ns.Percentile(0.5);
   out->wall_p99_ns = out->wall_latency_ns.Percentile(0.99);
   out->ppo_violations = svc.PpoViolations();
+  if (const obs::SloWatchdog* wd = svc.watchdog(); wd != nullptr) {
+    out->slo_armed = true;
+    out->slo_checks = wd->checks();
+    out->slo_alerts = wd->alert_count();
+    const std::vector<obs::SloAlert> alerts = wd->alerts();
+    if (!alerts.empty()) {
+      out->slo_slowest = alerts.back().window.slowest;
+    }
+  }
 }
 
 // Closed loop: `clients` threads, one outstanding request each. Rejections
@@ -321,6 +350,19 @@ void PrintLoop(const LoopResult& r) {
       r.name.c_str(), r.completed, r.rejected, r.errors, r.wall_seconds,
       r.wall_ops_per_sec, r.wall_p50_ns, r.wall_p99_ns, r.sim_ops_per_sec,
       r.sim_p99_ns, r.ppo_violations);
+  if (r.slo_armed) {
+    std::printf("  slo:  checks=%" PRIu64 " alerts=%" PRIu64, r.slo_checks,
+                r.slo_alerts);
+    if (!r.slo_slowest.empty()) {
+      std::printf("  slowest=[");
+      for (std::size_t i = 0; i < r.slo_slowest.size(); ++i) {
+        std::printf("%s%" PRIu64 ":%" PRIu64 "ns", i > 0 ? ", " : "",
+                    r.slo_slowest[i].trace, r.slo_slowest[i].latency_ns);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
 }
 
 void AppendJson(std::string* out, const LoopResult& r) {
@@ -393,7 +435,8 @@ int Usage(const char* argv0) {
       "usage: %s [--mode=closed|open|both] [--shards=N] [--workers=N]\n"
       "          [--queue=N] [--batch=N] [--clients=N] [--requests=N]\n"
       "          [--keys=N] [--table-slots=N] [--zipf=T] [--get-every=N]\n"
-      "          [--qps=N] [--seed=N] [--json-out=FILE] [--hist-out=FILE]\n",
+      "          [--qps=N] [--seed=N] [--json-out=FILE] [--hist-out=FILE]\n"
+      "          [--slo=FILE] [--flight-dump=FILE] [--flight-capacity=N]\n",
       argv0);
   return 2;
 }
@@ -441,6 +484,19 @@ int Run(int argc, char** argv) {
       cli.json_out = value;
     } else if (MatchFlag(argv[i], "--hist-out", &value)) {
       cli.hist_out = value;
+    } else if (MatchFlag(argv[i], "--slo", &value)) {
+      auto spec = obs::LoadSloSpecFile(value);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "slo: %s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      cli.slo_enabled = true;
+      cli.slo = *spec;
+    } else if (MatchFlag(argv[i], "--flight-dump", &value)) {
+      cli.flight_dump = value;
+    } else if (MatchFlag(argv[i], "--flight-capacity", &value) &&
+               ParseUint(value, &n)) {
+      cli.flight_capacity = n;
     } else {
       return Usage(argv[0]);
     }
