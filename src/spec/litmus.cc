@@ -1,0 +1,496 @@
+#include "src/spec/litmus.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nearpm {
+namespace spec {
+namespace {
+
+// Locations: one line at the head of four consecutive stripes.
+constexpr PmAddr kLocBase = 0x1000;
+// Slots: spaced >= kSlotSize (4160) apart so declared write ranges never
+// overlap each other or the locations.
+constexpr PmAddr kSlot0 = 0x10000;   // stripe 256 -> device 0
+constexpr PmAddr kSlot1 = 0x11300;   // stripe 275 -> device 1
+constexpr PmAddr kSlotX = 0x126C0;   // header in stripe 294 (device 0) at
+                                     // offset 192, payload in stripe 295
+                                     // (device 1): a cross-device log.
+
+const char* const kLocNames[kNumLocs] = {"L0", "L1", "L2", "L3"};
+const char* const kSlotNames[kNumSlots] = {"S0", "S1", "SX"};
+
+bool ParseLoc(std::string_view tok, int* out) {
+  for (int i = 0; i < kNumLocs; ++i) {
+    if (tok == kLocNames[i]) {
+      *out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseSlot(std::string_view tok, int* out) {
+  for (int i = 0; i < kNumSlots; ++i) {
+    if (tok == kSlotNames[i]) {
+      *out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string_view> SplitTrim(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(start, end - start);
+    while (!piece.empty() && piece.front() == ' ') piece.remove_prefix(1);
+    while (!piece.empty() && piece.back() == ' ') piece.remove_suffix(1);
+    if (!piece.empty()) out.push_back(piece);
+    start = end + 1;
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+PmAddr LocAddr(int loc) {
+  assert(loc >= 0 && loc < kNumLocs);
+  return kLocBase + static_cast<PmAddr>(loc) * kStripe;
+}
+
+PmAddr SlotAddr(int slot) {
+  assert(slot >= 0 && slot < kNumSlots);
+  switch (slot) {
+    case 0: return kSlot0;
+    case 1: return kSlot1;
+    default: return kSlotX;
+  }
+}
+
+int DeviceOf(PmAddr addr) {
+  return static_cast<int>((addr / kStripe) % kNumDevices);
+}
+
+const char* LocName(int loc) {
+  assert(loc >= 0 && loc < kNumLocs);
+  return kLocNames[loc];
+}
+
+const char* SlotName(int slot) {
+  assert(slot >= 0 && slot < kNumSlots);
+  return kSlotNames[slot];
+}
+
+std::string InstrText(const LitmusInstr& instr) {
+  char buf[64];
+  switch (instr.op) {
+    case LOp::kWrite:
+      std::snprintf(buf, sizeof(buf), "w%d %s %u", instr.thread,
+                    kLocNames[instr.loc], instr.value);
+      break;
+    case LOp::kPersist:
+      std::snprintf(buf, sizeof(buf), "p%d %s", instr.thread,
+                    kLocNames[instr.loc]);
+      break;
+    case LOp::kFence:
+      std::snprintf(buf, sizeof(buf), "f%d", instr.thread);
+      break;
+    case LOp::kRead:
+      std::snprintf(buf, sizeof(buf), "r%d %s", instr.thread,
+                    kLocNames[instr.loc]);
+      break;
+    case LOp::kLog:
+      std::snprintf(buf, sizeof(buf), "log%d %s %s", instr.thread,
+                    kSlotNames[instr.slot], kLocNames[instr.loc]);
+      break;
+    case LOp::kApply:
+      std::snprintf(buf, sizeof(buf), "app%d %s %s", instr.thread,
+                    kSlotNames[instr.slot], kLocNames[instr.loc]);
+      break;
+    case LOp::kCommit:
+      if (instr.slot2 >= 0) {
+        std::snprintf(buf, sizeof(buf), "commit%d %s,%s", instr.thread,
+                      kSlotNames[instr.slot], kSlotNames[instr.slot2]);
+      } else {
+        std::snprintf(buf, sizeof(buf), "commit%d %s", instr.thread,
+                      kSlotNames[instr.slot]);
+      }
+      break;
+    case LOp::kSync:
+      std::snprintf(buf, sizeof(buf), "sync%d", instr.thread);
+      break;
+  }
+  return buf;
+}
+
+std::string LitmusProgram::Text() const {
+  std::string out;
+  for (const LitmusInstr& instr : instrs) {
+    if (!out.empty()) out += "; ";
+    out += InstrText(instr);
+  }
+  return out;
+}
+
+StatusOr<LitmusProgram> LitmusProgram::Parse(std::string_view text) {
+  LitmusProgram program;
+  for (std::string_view piece : SplitTrim(text, ';')) {
+    std::vector<std::string_view> tok = SplitTrim(piece, ' ');
+    if (tok.empty()) continue;
+    std::string_view head = tok[0];
+    LitmusInstr instr;
+    // The mnemonic ends with the thread digit: "w0", "log1", "commit0"...
+    if (head.size() < 2 || head.back() < '0' ||
+        head.back() > '0' + kNumThreads - 1) {
+      return InvalidArgument("litmus: bad mnemonic/thread");
+    }
+    instr.thread = head.back() - '0';
+    std::string_view op = head.substr(0, head.size() - 1);
+    auto need = [&](std::size_t n) { return tok.size() == n; };
+    if (op == "w") {
+      if (!need(3) || !ParseLoc(tok[1], &instr.loc)) {
+        return InvalidArgument("litmus: w<t> <loc> <val>");
+      }
+      int value = std::atoi(std::string(tok[2]).c_str());
+      if (value < 1 || value > 9) {
+        return InvalidArgument("litmus: store value must be 1..9");
+      }
+      instr.op = LOp::kWrite;
+      instr.value = static_cast<std::uint8_t>(value);
+    } else if (op == "p") {
+      if (!need(2) || !ParseLoc(tok[1], &instr.loc)) {
+        return InvalidArgument("litmus: p<t> <loc>");
+      }
+      instr.op = LOp::kPersist;
+    } else if (op == "f") {
+      if (!need(1)) return InvalidArgument("litmus: f<t>");
+      instr.op = LOp::kFence;
+    } else if (op == "r") {
+      if (!need(2) || !ParseLoc(tok[1], &instr.loc)) {
+        return InvalidArgument("litmus: r<t> <loc>");
+      }
+      instr.op = LOp::kRead;
+    } else if (op == "log" || op == "app") {
+      if (!need(3) || !ParseSlot(tok[1], &instr.slot) ||
+          !ParseLoc(tok[2], &instr.loc)) {
+        return InvalidArgument("litmus: log/app<t> <slot> <loc>");
+      }
+      instr.op = op == "log" ? LOp::kLog : LOp::kApply;
+    } else if (op == "commit") {
+      if (!need(2)) {
+        return InvalidArgument("litmus: commit<t> <slot>[,<slot>]");
+      }
+      std::vector<std::string_view> slots = SplitTrim(tok[1], ',');
+      if (slots.empty() || slots.size() > 2 ||
+          !ParseSlot(slots[0], &instr.slot) ||
+          (slots.size() == 2 && !ParseSlot(slots[1], &instr.slot2))) {
+        return InvalidArgument("litmus: bad commit slot list");
+      }
+      instr.op = LOp::kCommit;
+    } else if (op == "sync") {
+      if (!need(1)) return InvalidArgument("litmus: sync<t>");
+      instr.op = LOp::kSync;
+    } else {
+      return InvalidArgument("litmus: unknown mnemonic");
+    }
+    program.instrs.push_back(instr);
+  }
+  if (program.instrs.empty()) {
+    return InvalidArgument("litmus: empty program");
+  }
+  return program;
+}
+
+namespace {
+
+LitmusInstr W(int t, int loc, int v) {
+  return LitmusInstr{LOp::kWrite, t, loc, -1, -1,
+                     static_cast<std::uint8_t>(v)};
+}
+LitmusInstr P(int t, int loc) {
+  return LitmusInstr{LOp::kPersist, t, loc, -1, -1, 0};
+}
+LitmusInstr F(int t) { return LitmusInstr{LOp::kFence, t, -1, -1, -1, 0}; }
+LitmusInstr R(int t, int loc) {
+  return LitmusInstr{LOp::kRead, t, loc, -1, -1, 0};
+}
+LitmusInstr Log(int t, int slot, int loc) {
+  return LitmusInstr{LOp::kLog, t, loc, slot, -1, 0};
+}
+LitmusInstr App(int t, int slot, int loc) {
+  return LitmusInstr{LOp::kApply, t, loc, slot, -1, 0};
+}
+LitmusInstr Commit(int t, int slot, int slot2 = -1) {
+  return LitmusInstr{LOp::kCommit, t, -1, slot, slot2, 0};
+}
+LitmusInstr Sync(int t) { return LitmusInstr{LOp::kSync, t, -1, -1, -1, 0}; }
+
+void Add(std::vector<LitmusProgram>* out, std::string name,
+         std::vector<LitmusInstr> instrs) {
+  out->push_back(LitmusProgram{std::move(name), std::move(instrs)});
+}
+
+// F1: CPU persist vs NDP log write ordering, persist absent/before/after.
+void FamilyPersistLog(std::vector<LitmusProgram>* out) {
+  for (int pos = 0; pos < 3; ++pos) {
+    for (int loc = 0; loc < 2; ++loc) {
+      for (int slot = 0; slot < kNumSlots; ++slot) {
+        std::vector<LitmusInstr> is;
+        is.push_back(W(0, loc, 1));
+        if (pos == 1) is.push_back(P(0, loc));
+        is.push_back(Log(0, slot, loc));
+        if (pos == 2) is.push_back(P(0, loc));
+        char name[64];
+        std::snprintf(name, sizeof(name), "f1-%s-%s-%s",
+                      pos == 0 ? "nop" : pos == 1 ? "pre" : "post",
+                      SlotName(slot), LocName(loc));
+        Add(out, name, std::move(is));
+      }
+    }
+  }
+}
+
+// F2: log -> apply -> cross-thread read of the applied target, with and
+// without a persist of the source and a drain before the read (inv1 and
+// NPM003 shapes; the drained variants are the negative controls).
+void FamilyLogApplyRead(std::vector<LitmusProgram>* out) {
+  for (int src = 0; src < 2; ++src) {
+    for (int dst = 2; dst < 4; ++dst) {
+      for (int slot = 0; slot < kNumSlots; ++slot) {
+        for (int persist = 0; persist < 2; ++persist) {
+          for (int drain = 0; drain < 2; ++drain) {
+            std::vector<LitmusInstr> is;
+            is.push_back(W(0, src, 2));
+            if (persist) is.push_back(P(0, src));
+            is.push_back(Log(0, slot, src));
+            is.push_back(App(0, slot, dst));
+            if (drain) is.push_back(Sync(1));
+            is.push_back(R(1, dst));
+            char name[64];
+            std::snprintf(name, sizeof(name), "f2-%s-%s-%s%s%s",
+                          LocName(src), LocName(dst), SlotName(slot),
+                          persist ? "-p" : "", drain ? "-d" : "");
+            Add(out, name, std::move(is));
+          }
+        }
+      }
+    }
+  }
+}
+
+// F3: commit/synchronization shapes: optional second log on the same or the
+// other device before the commit, optional drain before the commit.
+void FamilyCommitSync(std::vector<LitmusProgram>* out) {
+  for (int slot = 0; slot < 2; ++slot) {
+    for (int second = 0; second < 3; ++second) {  // none / other-dev / SX
+      for (int drain = 0; drain < 2; ++drain) {
+        for (int loc = 0; loc < 2; ++loc) {
+          std::vector<LitmusInstr> is;
+          is.push_back(W(0, loc, 3));
+          is.push_back(Log(0, slot, loc));
+          if (second == 1) is.push_back(Log(0, 1 - slot, 1 - loc));
+          if (second == 2) is.push_back(Log(0, 2, 1 - loc));
+          if (drain) is.push_back(Sync(0));
+          is.push_back(Commit(0, slot));
+          char name[64];
+          std::snprintf(name, sizeof(name), "f3-%s-2nd%d%s-%s",
+                        SlotName(slot), second, drain ? "-d" : "",
+                        LocName(loc));
+          Add(out, name, std::move(is));
+        }
+      }
+    }
+  }
+}
+
+// F4: the invariant-2 race: persist of the log's *source* line right behind
+// the log command, with and without an interposed fence.
+void FamilyPersistRace(std::vector<LitmusProgram>* out) {
+  for (int loc = 0; loc < 2; ++loc) {
+    for (int slot = 0; slot < kNumSlots; ++slot) {
+      for (int fence = 0; fence < 2; ++fence) {
+        std::vector<LitmusInstr> is;
+        is.push_back(W(0, loc, 4));
+        is.push_back(Log(0, slot, loc));
+        if (fence) is.push_back(F(0));
+        is.push_back(P(0, loc));
+        char name[64];
+        std::snprintf(name, sizeof(name), "f4-%s-%s%s", SlotName(slot),
+                      LocName(loc), fence ? "-f" : "");
+        Add(out, name, std::move(is));
+      }
+    }
+  }
+}
+
+// F5: two threads logging to one device each, with eight distinct tails,
+// interleaved two ways.
+void FamilyTwoThread(std::vector<LitmusProgram>* out) {
+  for (int tail = 0; tail < 8; ++tail) {
+    for (int mix = 0; mix < 2; ++mix) {
+      std::vector<LitmusInstr> is;
+      if (mix == 0) {
+        is = {W(0, 0, 5), Log(0, 0, 0), W(1, 1, 6), Log(1, 1, 1)};
+      } else {
+        is = {W(0, 0, 5), W(1, 1, 6), Log(0, 0, 0), Log(1, 1, 1)};
+      }
+      switch (tail) {
+        case 0: is.push_back(Commit(0, 0)); break;
+        case 1: is.push_back(Commit(1, 1)); break;
+        case 2:
+          is.push_back(Commit(0, 0));
+          is.push_back(Commit(1, 1));
+          break;
+        case 3: is.push_back(Sync(0)); break;
+        case 4: is.push_back(P(0, 0)); break;
+        case 5: is.push_back(R(1, 0)); break;
+        case 6: is.push_back(App(1, 1, 3)); break;
+        default: break;  // 7: bare
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "f5-t%d-m%d", tail, mix);
+      Add(out, name, std::move(is));
+    }
+  }
+}
+
+// F6: the Section 2.3 torn-log shape: a log whose header and payload land
+// on different devices, optionally persisted and committed.
+void FamilyCrossDevice(std::vector<LitmusProgram>* out) {
+  for (int loc = 0; loc < 2; ++loc) {
+    for (int persist = 0; persist < 2; ++persist) {
+      for (int commit = 0; commit < 2; ++commit) {
+        std::vector<LitmusInstr> is;
+        is.push_back(W(0, loc, 7));
+        if (persist) is.push_back(P(0, loc));
+        is.push_back(Log(0, 2, loc));
+        if (commit) is.push_back(Commit(0, 2));
+        char name[64];
+        std::snprintf(name, sizeof(name), "f6-%s%s%s", LocName(loc),
+                      persist ? "-p" : "", commit ? "-c" : "");
+        Add(out, name, std::move(is));
+      }
+    }
+  }
+}
+
+// F7: NPM004 deferred-maintenance boundary: commits whose "other device"
+// carries a unit request, only deferred requests, or nothing.
+void FamilyDeferredBoundary(std::vector<LitmusProgram>* out) {
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      Add(out, "f7-log" + std::string(SlotName(a)) + "-c" + SlotName(b),
+          {W(0, a, 8), Log(0, a, a), Commit(0, b)});
+      Add(out, "f7-c" + std::string(SlotName(a)) + "-c" + SlotName(b),
+          {Commit(0, a), Commit(0, b)});
+      Add(out,
+          "f7-log" + std::string(SlotName(a)) + "-cc" + SlotName(b),
+          {W(0, a, 8), Log(0, a, a), Commit(0, a), Commit(0, b)});
+    }
+  }
+  // The two-slot commit: one doorbell per slot under a single sync.
+  Add(out, "f7-c2-S0S1", {W(0, 0, 8), Log(0, 0, 0), Log(0, 1, 1),
+                          Commit(0, 0, 1)});
+  Add(out, "f7-c2-S1S0", {W(0, 1, 8), Log(0, 1, 1), Log(0, 0, 0),
+                          Commit(0, 1, 0)});
+}
+
+// F8: redundant-persist lint (NPM005) positives and negatives.
+void FamilyRedundantPersist(std::vector<LitmusProgram>* out) {
+  for (int loc = 0; loc < 2; ++loc) {
+    Add(out, "f8-bare-" + std::string(LocName(loc)), {P(0, loc)});
+    Add(out, "f8-double-" + std::string(LocName(loc)),
+        {W(0, loc, 8), P(0, loc), P(0, loc)});
+    Add(out, "f8-wpf-" + std::string(LocName(loc)),
+        {W(0, loc, 8), P(0, loc), F(0)});
+  }
+}
+
+// F9: reads overlapping only a request's *read* set -- must stay silent
+// (negative control for invariant 1 / NPM003).
+void FamilyReadOwnSource(std::vector<LitmusProgram>* out) {
+  for (int loc = 0; loc < 2; ++loc) {
+    for (int slot = 0; slot < kNumSlots; ++slot) {
+      for (int reader = 0; reader < 2; ++reader) {
+        std::vector<LitmusInstr> is = {W(0, loc, 9), Log(0, slot, loc),
+                                       R(reader, loc)};
+        char name[64];
+        std::snprintf(name, sizeof(name), "f9-%s-%s-r%d", SlotName(slot),
+                      LocName(loc), reader);
+        Add(out, name, std::move(is));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LitmusProgram RandomProgram(Rng& rng, std::uint64_t id) {
+  LitmusProgram program;
+  program.name = "rnd-" + std::to_string(id);
+  const std::size_t len = 3 + rng.NextBounded(6);
+  int next_value = 1;
+  int ndp_ops = 0;  // bound the request count: the spec enumerates
+                    // per-request crash outcomes, so deep NDP chains
+                    // would blow up the allowed-state search
+  for (std::size_t i = 0; i < len; ++i) {
+    const int t = static_cast<int>(rng.NextBounded(kNumThreads));
+    const int loc = static_cast<int>(rng.NextBounded(kNumLocs));
+    const int slot = static_cast<int>(rng.NextBounded(kNumSlots));
+    std::uint64_t dice = rng.NextBounded(100);
+    if (dice >= 55 && dice < 95 && ndp_ops >= 4) dice = 25;  // persist instead
+    if (dice >= 55 && dice < 95) ++ndp_ops;
+    if (dice < 25) {
+      program.instrs.push_back(W(t, loc, next_value));
+      next_value = next_value == 9 ? 1 : next_value + 1;
+    } else if (dice < 40) {
+      program.instrs.push_back(P(t, loc));
+    } else if (dice < 45) {
+      program.instrs.push_back(F(t));
+    } else if (dice < 55) {
+      program.instrs.push_back(R(t, loc));
+    } else if (dice < 75) {
+      program.instrs.push_back(Log(t, slot, loc));
+    } else if (dice < 85) {
+      program.instrs.push_back(App(t, slot, loc));
+    } else if (dice < 95) {
+      if (rng.NextBounded(5) == 0) {
+        program.instrs.push_back(
+            Commit(t, slot, static_cast<int>(rng.NextBounded(kNumSlots))));
+      } else {
+        program.instrs.push_back(Commit(t, slot));
+      }
+    } else {
+      program.instrs.push_back(Sync(t));
+    }
+  }
+  return program;
+}
+
+std::vector<LitmusProgram> GenerateGrid(std::uint64_t seed,
+                                        std::size_t min_programs) {
+  std::vector<LitmusProgram> out;
+  FamilyPersistLog(&out);
+  FamilyLogApplyRead(&out);
+  FamilyCommitSync(&out);
+  FamilyPersistRace(&out);
+  FamilyTwoThread(&out);
+  FamilyCrossDevice(&out);
+  FamilyDeferredBoundary(&out);
+  FamilyRedundantPersist(&out);
+  FamilyReadOwnSource(&out);
+  Rng rng(seed);
+  for (std::uint64_t id = 0; out.size() < min_programs; ++id) {
+    out.push_back(RandomProgram(rng, id));
+  }
+  return out;
+}
+
+}  // namespace spec
+}  // namespace nearpm

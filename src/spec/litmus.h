@@ -1,0 +1,110 @@
+// Litmus programs for the Partitioned Persist Ordering specification.
+//
+// A litmus program is a short straight-line program over two virtual CPU
+// threads, up to four data locations and up to three undo-log slots, using
+// exactly the vocabulary the PPO model is about: CPU stores, persists
+// (clwb+fence), fences, loads, NDP undo-log writes, log application, the
+// commit-class deferred log deletion (the cross-device synchronization
+// producer) and explicit device drains. Programs serialize to a one-line
+// text grammar so a whole program fits one string field of the flat repro
+// JSON the fuzz corpus already uses:
+//
+//   w0 L0 3; p0 L0; log0 S0 L0; commit1 S0 | sync0
+//
+//   w<t> <loc> <val>   CPU store of a 64-byte fill pattern <val> (1..9)
+//   p<t> <loc>         persist (clwb + sfence) of the location's line
+//   f<t>               bare store fence
+//   r<t> <loc>         CPU load of the location's line
+//   log<t> <slot> <loc>  NDP undo-log write: snapshot <loc> into <slot>
+//   app<t> <slot> <loc>  NDP log application: copy <slot>'s payload to <loc>
+//   commit<t> <slot>[,<slot>]  commit-class deferred log deletion
+//   sync<t>            drain all devices (full cross-device sync)
+//
+// Locations L0..L3 alternate between the two interleaved devices; slots S0
+// (device 0) and S1 (device 1) keep header and payload on one device while
+// SX straddles the stripe boundary so its header and payload land on
+// different devices -- the Section 2.3 torn-log shape.
+#ifndef SRC_SPEC_LITMUS_H_
+#define SRC_SPEC_LITMUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace nearpm {
+namespace spec {
+
+inline constexpr int kNumLocs = 4;
+inline constexpr int kNumSlots = 3;
+inline constexpr int kNumThreads = 2;
+inline constexpr int kNumDevices = 2;
+inline constexpr std::uint64_t kStripe = 256;   // RuntimeOptions default
+inline constexpr std::uint64_t kPmSize = 1ull << 17;
+
+// Memory layout. Locations are single 64-byte lines, each at a distinct
+// stripe so L0/L2 live on device 0 and L1/L3 on device 1. Slots are spaced
+// a full kSlotSize (4160 bytes) apart because an undo-log write *declares*
+// the whole slot as its write range: overlapping declared ranges would add
+// dispatcher conflicts the programs do not intend. SX places its header in
+// the last line of an even stripe so the payload (header + 64) falls on the
+// next, odd, stripe: a single log request with slices on both devices.
+PmAddr LocAddr(int loc);    // loc in [0, kNumLocs)
+PmAddr SlotAddr(int slot);  // slot in [0, kNumSlots)
+int DeviceOf(PmAddr addr);  // (addr / kStripe) % kNumDevices
+const char* LocName(int loc);    // "L0".."L3"
+const char* SlotName(int slot);  // "S0", "S1", "SX"
+
+enum class LOp : std::uint8_t {
+  kWrite,    // w<t> <loc> <val>
+  kPersist,  // p<t> <loc>
+  kFence,    // f<t>
+  kRead,     // r<t> <loc>
+  kLog,      // log<t> <slot> <loc>
+  kApply,    // app<t> <slot> <loc>
+  kCommit,   // commit<t> <slot>[,<slot2>]
+  kSync,     // sync<t>
+};
+
+struct LitmusInstr {
+  LOp op = LOp::kWrite;
+  int thread = 0;       // 0 or 1
+  int loc = -1;         // kWrite/kPersist/kRead/kLog/kApply
+  int slot = -1;        // kLog/kApply/kCommit
+  int slot2 = -1;       // kCommit with two slots
+  std::uint8_t value = 0;  // kWrite fill byte (1..9)
+};
+
+struct LitmusProgram {
+  std::string name;  // stable id, e.g. "f1-p0-log-S0-L0" or "rnd-42-7"
+  std::vector<LitmusInstr> instrs;
+
+  // One-line text form in the grammar above ("; "-separated).
+  std::string Text() const;
+  // Parses the text form. The name is not part of the text; callers carry
+  // it separately (the repro JSON stores both).
+  static StatusOr<LitmusProgram> Parse(std::string_view text);
+};
+
+std::string InstrText(const LitmusInstr& instr);
+
+// The deterministic default generator grid: every hand-designed family
+// instance (persist/log orderings, log-apply-read races, commit-sync
+// shapes, cross-device torn logs, deferred-maintenance boundaries,
+// redundant persists, two-thread interleavings) plus seeded random
+// programs padding the batch to at least `min_programs`. The same seed
+// always yields the same batch, in the same order.
+std::vector<LitmusProgram> GenerateGrid(std::uint64_t seed,
+                                        std::size_t min_programs);
+
+// One random well-formed program of 3..8 instructions.
+LitmusProgram RandomProgram(Rng& rng, std::uint64_t id);
+
+}  // namespace spec
+}  // namespace nearpm
+
+#endif  // SRC_SPEC_LITMUS_H_

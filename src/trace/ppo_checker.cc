@@ -10,19 +10,16 @@ namespace nearpm {
 
 namespace {
 
-bool IsExecSpan(const TraceEvent& e) {
-  return e.phase == TracePhase::kUnitExec ||
-         e.phase == TracePhase::kDeferredExec;
-}
-
 // CrashOutcome::kDurable from src/pmem -- mirrored here as an integer so the
 // trace layer stays below pmem (the producer records the enum value).
 constexpr std::uint64_t kOutcomeDurable = 2;
 
 struct EpochChecker {
-  explicit EpochChecker(std::size_t max) : max_violations(max) {}
+  EpochChecker(std::size_t max, std::uint32_t disabled)
+      : max_violations(max), disabled_mask(disabled) {}
 
   std::size_t max_violations;
+  std::uint32_t disabled_mask;
   std::vector<PpoViolation> violations;
   // Exec spans seen so far, in issue (record) order.
   std::vector<const TraceEvent*> spans;
@@ -39,6 +36,10 @@ struct EpochChecker {
   void Add(int invariant, const TraceEvent& at, std::uint64_t seq,
            std::string detail) {
     if (Full()) {
+      return;
+    }
+    if (invariant >= 1 &&
+        (disabled_mask & (1u << (invariant - 1))) != 0) {
       return;
     }
     violations.push_back(
@@ -181,11 +182,22 @@ struct EpochChecker {
 std::vector<PpoViolation> PpoChecker::Check(
     const std::vector<TraceEvent>& events) const {
   std::vector<PpoViolation> all;
+  // A wrapped recorder ring drops the oldest events; the surviving snapshot
+  // then starts at some global order > 1, and any invariant verdict would
+  // rest on spans we never saw.
+  if (require_full_history && !events.empty() && events.front().order != 1) {
+    all.push_back(PpoViolation{
+        0, 0, events.front().epoch, events.front().ts,
+        "insufficient history: trace ring wrapped (first surviving event has "
+        "order " + std::to_string(events.front().order) +
+        "); invariants cannot be established"});
+    return all;
+  }
   // Events arrive sorted by global order; epochs are contiguous runs.
   std::size_t i = 0;
   while (i < events.size() && all.size() < max_violations) {
     const std::uint32_t epoch = events[i].epoch;
-    EpochChecker checker(max_violations - all.size());
+    EpochChecker checker(max_violations - all.size(), disable_invariants);
     for (; i < events.size() && events[i].epoch == epoch; ++i) {
       if (!checker.Full()) {
         checker.Consume(events[i]);

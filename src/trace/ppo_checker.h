@@ -41,7 +41,7 @@
 namespace nearpm {
 
 struct PpoViolation {
-  int invariant = 0;        // 1..4
+  int invariant = 0;        // 1..4; 0 = insufficient history (trimmed ring)
   std::uint64_t seq = 0;    // offending request seq (0 when not applicable)
   std::uint32_t epoch = 0;
   SimTime ts = 0;           // virtual time of the violating event
@@ -53,6 +53,19 @@ class PpoChecker {
   // Stops collecting after this many violations (the ablation produces one
   // per unordered access; a handful is plenty to diagnose).
   std::size_t max_violations = 64;
+
+  // When true, a snapshot whose prefix was trimmed by ring wrap-around (the
+  // first surviving event's global order is not 1) yields an invariant-0
+  // "insufficient history" violation instead of silently checking only the
+  // tail: a load or persist may race work whose exec span was trimmed away.
+  // Off by default -- long-running audits (nearpm_load) intentionally check
+  // trimmed tails -- but conformance runs must demand the full trace.
+  bool require_full_history = false;
+
+  // Bitmask of invariants (bit i-1 = invariant i) to *skip*. Exists solely
+  // for the conformance harness's teeth mode: a deliberately weakened
+  // checker must be caught by the differential spec comparison.
+  std::uint32_t disable_invariants = 0;
 
   std::vector<PpoViolation> Check(const std::vector<TraceEvent>& events) const;
   std::vector<PpoViolation> Check(const TraceRecorder& recorder) const {

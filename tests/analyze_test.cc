@@ -244,6 +244,110 @@ TEST(PmSanitizerRules, Npm007CountsEachHazardousDoorbell) {
   EXPECT_EQ(san.sink().count(RuleId::kNpm007), 2u);
 }
 
+// ---- NPM004 deferred-maintenance exemption boundary -------------------------
+
+TEST(PmSanitizerEdge, Npm004DeferredMaintenanceSliceIsExempt) {
+  // The only in-flight work on the other device is a maintenance (deferred
+  // log-deletion) slice: commits racing each other's deletions is not the
+  // hazard NPM004 targets, so the commit-class doorbell stays clean.
+  PmSanitizer san;
+  san.OnDeviceExecute(1, /*seq=*/7, {4096, 4096 + 64}, /*completion=*/500,
+                      /*deferred=*/true);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, /*now=*/100,
+                   /*commit_class=*/true, /*touched_devices=*/1u << 0, {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 0u);
+}
+
+TEST(PmSanitizerEdge, Npm004ExemptionIsPerSliceNotPerDevice) {
+  // A deferred slice on the device does not shield a *unit* (log-write)
+  // slice that is also still in flight there.
+  PmSanitizer san;
+  san.OnDeviceExecute(1, /*seq=*/7, {4096, 4096 + 64}, 500,
+                      /*deferred=*/true);
+  san.OnDeviceExecute(1, /*seq=*/8, {4160, 4160 + 64}, 600,
+                      /*deferred=*/false);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, 100, true, 1u << 0, {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 1u);
+}
+
+TEST(PmSanitizerEdge, Npm004SyncMarkerBoundary) {
+  // A request issued *before* the latest sync marker belongs to an already
+  // synchronized generation: the commit is ordered behind it by the delayed
+  // sync, so only same-generation requests (after_sync == last marker) fire.
+  PmSanitizer san;
+  san.OnDeviceExecute(1, /*seq=*/7, {4096, 4096 + 64}, 500);
+  san.OnSyncMarker(1);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, 100, true, 1u << 0, {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 0u);
+  // A request issued after the marker is un-synchronized again.
+  san.OnDeviceExecute(1, /*seq=*/9, {4224, 4224 + 64}, 700);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, 200, true, 1u << 0, {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 1u);
+}
+
+TEST(PmSanitizerEdge, Npm004SyncCompleteRetiresEarlierGenerations) {
+  // OnSyncComplete retires every request issued before the completed sync;
+  // a commit after that must be clean even without per-request retires.
+  PmSanitizer san;
+  san.OnDeviceExecute(1, /*seq=*/7, {4096, 4096 + 64}, 500);
+  san.OnSyncMarker(1);
+  san.OnDeviceExecute(1, /*seq=*/8, {4160, 4160 + 64}, 600);
+  san.OnSyncComplete(1);  // retires seq=7 (generation 0), not seq=8
+  san.OnSyncMarker(2);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, 700, true, 1u << 0, {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 0u);
+}
+
+TEST(PmSanitizerEdge, Npm004ParticipatingDeviceIsExempt) {
+  // The command's own target devices order the commit through their
+  // dispatch queues; only *other* devices' in-flight work fires.
+  PmSanitizer san;
+  san.OnDeviceExecute(1, /*seq=*/7, {4096, 4096 + 64}, 500);
+  san.OnNdpCommand(0, {}, {8192, 8192 + 64}, 100, true,
+                   /*touched_devices=*/(1u << 0) | (1u << 1), {});
+  EXPECT_EQ(san.sink().count(RuleId::kNpm004), 0u);
+}
+
+// ---- NPM007 at the persist boundary -----------------------------------------
+
+TEST(PmSanitizerEdge, Npm007FiresBetweenFlushAndFence) {
+  // clwb without the fence is not durability: a doorbell in the window
+  // between the flush and the fence still races the record.
+  PmSanitizer san;
+  const AddrRange record{4096, 4096 + 64};
+  san.OnCpuWrite(0, record, 10, {});
+  san.OnFlush(0, record, 20, {});
+  san.OnReplDoorbell(0, record, 25);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 1u);
+  // After the fence the same doorbell is clean.
+  san.OnFence(0);
+  san.OnReplDoorbell(0, record, 30);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 1u);
+}
+
+TEST(PmSanitizerEdge, Npm007SplitsExactlyAtLineBoundary) {
+  // Two dirty lines; only the first is persisted. A doorbell over the
+  // persisted line is clean, one over the still-dirty neighbour fires --
+  // the line accounting must not bleed across the 64-byte boundary.
+  PmSanitizer san;
+  san.OnCpuWrite(0, {4096, 4096 + 128}, 10, {});
+  san.OnFlush(0, {4096, 4096 + 64}, 20, {});
+  san.OnFence(0);
+  san.OnReplDoorbell(0, {4096, 4096 + 64}, 30);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 0u);
+  san.OnReplDoorbell(0, {4096 + 64, 4096 + 128}, 31);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 1u);
+}
+
+TEST(PmSanitizerEdge, Npm007RangeEndingAtDirtyLineIsClean) {
+  // The doorbell range ends exactly where the dirty line starts: half-open
+  // ranges must not count the neighbour.
+  PmSanitizer san;
+  san.OnCpuWrite(0, {4096, 4096 + 64}, 10, {});
+  san.OnReplDoorbell(0, {4096 - 64, 4096}, 20);
+  EXPECT_EQ(san.sink().count(RuleId::kNpm007), 0u);
+}
+
 // ---- Clean runs -------------------------------------------------------------
 
 class CleanHeapRun : public ::testing::TestWithParam<Mechanism> {};

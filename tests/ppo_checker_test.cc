@@ -4,6 +4,7 @@
 // offload of Section 2.3) must produce a detected ordering violation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -316,6 +317,79 @@ std::vector<PpoViolation> RunAblationSchedule(bool enforce_ppo) {
 
 TEST(PpoCheckerRuntime, EnforcedScheduleChecksClean) {
   const auto violations = RunAblationSchedule(/*enforce_ppo=*/true);
+  EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
+}
+
+TEST(PpoCheckerHistory, WrappedRingYieldsInsufficientHistory) {
+  // A tiny recorder ring wraps while the ablation schedule runs; the
+  // surviving snapshot starts mid-stream. Demanding full history must turn
+  // that into an explicit invariant-0 verdict instead of a silent (and
+  // unsound) pass over the tail.
+  RuntimeOptions options;
+  options.num_devices = 2;
+  options.mode = ExecMode::kNdpMultiDelayed;
+  options.enforce_ppo = false;
+  options.pm_size = 16ull << 20;
+  Runtime rt(options);
+  TraceRecorderOptions trace_options;
+  trace_options.ring_capacity = 4;  // guaranteed wrap on any real schedule
+  TraceRecorder recorder(trace_options);
+  rt.AttachTrace(&recorder);
+  auto pool = rt.RegisterPool(0, 1 << 20);
+  ASSERT_TRUE(pool.ok());
+  const PmAddr slot = 512 * 1024;
+  ASSERT_TRUE(rt.UndologCreate(*pool, 0, /*tx_id=*/1, /*old_data=*/0,
+                               /*size=*/4096, slot)
+                  .ok());
+  (void)rt.Load<std::uint64_t>(0, slot);
+  const PmAddr slots[] = {slot};
+  ASSERT_TRUE(rt.CommitLog(*pool, 0, slots).ok());
+  rt.DrainDevices(0);
+  // Overrun the host thread's track so the earliest events (the undo-log
+  // issue and the racing load above) are overwritten.
+  const std::array<std::uint8_t, 8> fill{0x11, 0x11, 0x11, 0x11,
+                                         0x11, 0x11, 0x11, 0x11};
+  for (int i = 0; i < 8; ++i) {
+    rt.Write(0, static_cast<PmAddr>(i) * 64, fill);
+  }
+
+  const std::vector<TraceEvent> snapshot = recorder.Snapshot();
+  ASSERT_FALSE(snapshot.empty());
+  ASSERT_GT(snapshot.front().order, 1u) << "ring did not wrap";
+
+  PpoChecker strict;
+  strict.require_full_history = true;
+  const auto violations = strict.Check(snapshot);
+  ASSERT_EQ(violations.size(), 1u) << PpoChecker::Report(violations);
+  EXPECT_EQ(violations.front().invariant, 0);
+
+  // The default (trimmed-tail audit) mode must not fabricate the verdict.
+  for (const PpoViolation& v : PpoChecker{}.Check(snapshot)) {
+    EXPECT_NE(v.invariant, 0) << v.detail;
+  }
+}
+
+TEST(PpoCheckerHistory, FullSnapshotPassesStrictMode) {
+  // Same schedule, ample ring: strict mode must not fire invariant 0.
+  const auto violations = [] {
+    RuntimeOptions options;
+    options.num_devices = 2;
+    options.mode = ExecMode::kNdpMultiDelayed;
+    options.enforce_ppo = true;
+    options.pm_size = 16ull << 20;
+    Runtime rt(options);
+    TraceRecorder recorder;
+    rt.AttachTrace(&recorder);
+    auto pool = rt.RegisterPool(0, 1 << 20);
+    const PmAddr slot = 512 * 1024;
+    (void)rt.UndologCreate(*pool, 0, 1, 0, 4096, slot);
+    const PmAddr slots[] = {slot};
+    (void)rt.CommitLog(*pool, 0, slots);
+    rt.DrainDevices(0);
+    PpoChecker strict;
+    strict.require_full_history = true;
+    return strict.Check(recorder);
+  }();
   EXPECT_TRUE(violations.empty()) << PpoChecker::Report(violations);
 }
 
